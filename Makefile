@@ -1,0 +1,27 @@
+.PHONY: install test bench figures clean
+
+PYTHON ?= python
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper figure into results/ and print them.
+figures:
+	$(PYTHON) -m repro figures all
+
+shell:
+	$(PYTHON) -m repro shell
+
+artifacts: ## the final run the reproduction ships with
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf results/*.txt .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

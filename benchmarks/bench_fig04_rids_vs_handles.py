@@ -1,0 +1,29 @@
+"""Section 4.1 — hash tables: Rids or Handles?
+
+The experience that started the paper's Section 4 investigation: a hash
+table whose payloads are full Handles pins a 60+-byte structure per
+selected object, while a table of Rids stays small and re-fetches
+through the (now warm) cache on use.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ExperimentRunner
+from repro.bench.figures import figure4_rids_vs_handles
+
+
+def test_figure4(benchmark, derby_cache, save_table):
+    derby = derby_cache("1:1000", "class")
+    runner = ExperimentRunner(derby)
+
+    table = benchmark.pedantic(
+        lambda: figure4_rids_vs_handles(runner, selectivity_pct=90),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("figure04_rids_vs_handles", table)
+
+    handles_row, rids_row = table.rows
+    assert handles_row[2] > 10 * rids_row[2]  # table MB
+    benchmark.extra_info["handles_s"] = handles_row[3]
+    benchmark.extra_info["rids_s"] = rids_row[3]

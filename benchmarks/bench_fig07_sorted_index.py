@@ -1,0 +1,31 @@
+"""Figure 7 — sorted unclustered index scan vs no index.
+
+Regenerates the table that surprised the authors: sorting the rids
+returned by the index scan before fetching keeps the index competitive
+at every selectivity ("It did and exceeded our expectations by far").
+"""
+
+from __future__ import annotations
+
+from repro.bench import ExperimentRunner
+from repro.bench.figures import figure7
+
+
+def test_figure7(benchmark, derby_cache, save_table):
+    derby = derby_cache("1:1000", "class")
+    runner = ExperimentRunner(derby)
+
+    table = benchmark.pedantic(
+        lambda: figure7(runner), rounds=1, iterations=1
+    )
+    save_table("figure07_sorted_index", table)
+
+    rows = table.rows
+    # The sorted index scan wins clearly at low/mid selectivity.
+    for row in rows[:3]:
+        assert row[1] < row[2], f"sorted index lost at {row[0]}%"
+    # At 90% it stays within a whisker of the scan (the paper measured a
+    # modest win; our model puts the crossover around there).
+    assert rows[-1][1] < rows[-1][2] * 1.10
+    benchmark.extra_info["sorted_index_90pct_s"] = rows[-1][1]
+    benchmark.extra_info["scan_90pct_s"] = rows[-1][2]

@@ -1,0 +1,33 @@
+"""Figure 11 — one file per class, 2x10^3 providers / 2x10^6 patients.
+
+Expected shape (paper): hash joins best, NOJOIN comparable (within
+~1.1-1.5x), NL dreadful except when very few providers are selected.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import cell_times, rank_table
+
+
+def test_figure11(benchmark, join_measurements, save_table):
+    ms = benchmark.pedantic(
+        lambda: join_measurements("1:1000", "class"), rounds=1, iterations=1
+    )
+    save_table(
+        "figure11_class_1to1000",
+        rank_table(ms, "Figure 11 — One file per Class, 1:1000"),
+    )
+
+    # Paper's shape assertions per cell.
+    t = cell_times(ms, 10, 10)
+    assert t["PHJ"] < t["NL"] / 4          # NL dreadful (paper: 15.8x)
+    assert t["NOJOIN"] < 2.0 * t["PHJ"]    # NOJOIN comparable (paper: 1.40x)
+
+    t = cell_times(ms, 10, 90)
+    assert t["NL"] > 10 * min(t.values())  # paper: 80x
+
+    t = cell_times(ms, 90, 90)
+    assert t["NL"] > 3 * t["PHJ"]          # paper: 7x
+    assert t["NOJOIN"] < 1.5 * t["PHJ"]    # paper: 1.2x
+
+    benchmark.extra_info["phj_9090_s"] = t["PHJ"]

@@ -1,0 +1,38 @@
+"""Figure 12 — one file per class, 10^6 providers / 3x10^6 patients.
+
+Expected shape (paper): NOJOIN becomes dreadful (one random parent
+access per child over a huge parent file), the hash joins degrade when
+their tables outgrow memory — at 90/90 NOJOIN wins and the ordering is
+NOJOIN < NL < PHJ < CHJ.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import cell_times, rank_table
+
+
+def test_figure12(benchmark, join_measurements, save_table):
+    ms = benchmark.pedantic(
+        lambda: join_measurements("1:3", "class"), rounds=1, iterations=1
+    )
+    save_table(
+        "figure12_class_1to3",
+        rank_table(ms, "Figure 12 — One file per Class, 1:3"),
+    )
+
+    t = cell_times(ms, 10, 10)
+    assert t["NOJOIN"] > 5 * min(t.values())   # paper: 9.7x
+    assert t["NL"] > 5 * min(t.values())       # paper: 12.5x
+
+    t = cell_times(ms, 10, 90)
+    assert min(t, key=t.get) == "CHJ"          # paper: CHJ wins
+    assert t["PHJ"] > 2 * t["CHJ"]             # paper: 4.4x (PHJ swaps)
+
+    t = cell_times(ms, 90, 10)
+    assert min(t, key=t.get) == "PHJ"
+    assert t["NL"] < t["NOJOIN"]               # paper: NL 1.77x, NOJOIN 11.7x
+
+    t = cell_times(ms, 90, 90)
+    order = sorted(t, key=t.get)
+    assert order == ["NOJOIN", "NL", "PHJ", "CHJ"], order  # paper's exact order
+    benchmark.extra_info["nojoin_9090_s"] = t["NOJOIN"]

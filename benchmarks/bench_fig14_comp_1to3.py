@@ -1,0 +1,39 @@
+"""Figure 14 — composition clustering, 10^6 providers / 3x10^6 patients.
+
+Expected shape (paper): navigation wins everywhere (NL in three cells,
+NOJOIN at 10/90); CHJ/PHJ pay memory-driven penalties at high
+selectivities.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import cell_times, rank_table
+
+
+def test_figure14(benchmark, join_measurements, save_table):
+    ms = benchmark.pedantic(
+        lambda: join_measurements("1:3", "composition"), rounds=1, iterations=1
+    )
+    save_table(
+        "figure14_comp_1to3",
+        rank_table(ms, "Figure 14 — Composition Cluster, 1:3"),
+    )
+
+    t = cell_times(ms, 10, 10)
+    assert min(t, key=t.get) == "NL"          # paper: NL, ~9x margin
+    assert t["NOJOIN"] > 3 * t["NL"]
+
+    t = cell_times(ms, 10, 90)
+    assert min(t, key=t.get) == "NOJOIN"      # paper: NOJOIN wins this cell
+    assert t["PHJ"] > 2 * t["NOJOIN"]         # paper: 5.1x
+
+    t = cell_times(ms, 90, 10)
+    order = sorted(t, key=t.get)
+    assert order[0] == "NL"                   # paper: NL, PHJ, NOJOIN, CHJ
+    assert order[-1] == "CHJ"
+
+    t = cell_times(ms, 90, 90)
+    assert min(t, key=t.get) == "NL"
+    assert t["NOJOIN"] < 1.5 * t["NL"]        # paper: 1.22x
+    assert t["PHJ"] > 2 * t["NL"]             # paper: 3.78x
+    benchmark.extra_info["nl_9090_s"] = t["NL"]

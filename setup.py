@@ -1,0 +1,7 @@
+"""Setup shim for legacy editable installs (``pip install -e . --no-use-pep517``)
+in offline environments lacking the ``wheel`` package.  All metadata lives
+in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""A single buffer cache (one tier of the client/server pair)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.buffer.replacement import LRUPolicy, PageKey, ReplacementPolicy
+from repro.storage.page import Page
+
+
+class BufferCache:
+    """A fixed-capacity page cache.
+
+    The cache holds references to :class:`Page` objects keyed by
+    ``(file_id, page_no)``.  When inserting into a full cache, the
+    replacement policy picks a victim; if the victim is dirty the
+    ``on_evict_dirty`` callback is invoked (write-back), after which the
+    page's dirty flag is owned by the next tier.
+    """
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        policy: ReplacementPolicy | None = None,
+        on_evict_dirty: Callable[[Page], None] | None = None,
+    ):
+        if capacity_pages < 1:
+            raise ValueError(f"cache needs at least one page, got {capacity_pages}")
+        self.capacity_pages = capacity_pages
+        self.policy = policy or LRUPolicy()
+        self.on_evict_dirty = on_evict_dirty
+        self._pages: dict[PageKey, Page] = {}
+
+    def lookup(self, key: PageKey) -> Page | None:
+        """Return the cached page and refresh its recency, or ``None``."""
+        page = self._pages.get(key)
+        if page is not None:
+            self.policy.touch(key)
+        return page
+
+    def insert(self, page: Page) -> None:
+        """Admit ``page``, evicting (with write-back) as needed."""
+        key = (page.file_id, page.page_no)
+        if key not in self._pages and len(self._pages) >= self.capacity_pages:
+            self._evict_one()
+        self._pages[key] = page
+        self.policy.touch(key)
+
+    def contains(self, key: PageKey) -> bool:
+        """Presence test that does *not* refresh recency."""
+        return key in self._pages
+
+    def drop(self, key: PageKey) -> None:
+        """Remove a page without write-back (caller handled it)."""
+        self._pages.pop(key, None)
+        self.policy.discard(key)
+
+    def dirty_pages(self) -> list[Page]:
+        """All dirty pages currently cached."""
+        return [page for page in self._pages.values() if page.dirty]
+
+    def clear(self) -> None:
+        """Drop everything (server shutdown / cold restart)."""
+        self._pages.clear()
+        self.policy.clear()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def _evict_one(self) -> None:
+        key = self.policy.evict()
+        page = self._pages.pop(key)
+        if page.dirty and self.on_evict_dirty is not None:
+            self.on_evict_dirty(page)

@@ -1,0 +1,304 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``figures``
+    Regenerate one (or all) of the paper's tables and print it.
+``load``
+    Build a Derby database and print the loading report (the Section
+    3.2 numbers).
+``shell``
+    An interactive OQL shell over a freshly loaded Derby database:
+    shows the optimizer's plan and the simulated meters for every query.
+``info``
+    Print the cost model and memory budgets in use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.bench import ExperimentRunner
+from repro.bench.figures import (
+    figure4_rids_vs_handles,
+    figure6,
+    figure7,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    handle_modes_figure,
+)
+from repro.cluster import load_derby
+from repro.derby import DerbyConfig
+from repro.derby.config import Clustering
+from repro.oql import Catalog, OQLEngine
+from repro.errors import ReproError
+from repro.units import MB
+
+_CLUSTERING = {c.value: c for c in Clustering}
+_DB_MAKERS = {
+    "1to1000": DerbyConfig.db_1to1000,
+    "1to3": DerbyConfig.db_1to3,
+}
+
+
+def _make_config(args: argparse.Namespace) -> DerbyConfig:
+    maker = _DB_MAKERS[args.db]
+    return maker(scale=args.scale, clustering=_CLUSTERING[args.clustering])
+
+
+def _add_db_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--db", choices=sorted(_DB_MAKERS), default="1to1000",
+        help="which of the paper's two databases to build",
+    )
+    parser.add_argument(
+        "--clustering", choices=sorted(_CLUSTERING), default="class",
+        help="physical organization (paper, Figure 2)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="database scale factor (default: REPRO_SCALE or 0.01)",
+    )
+
+
+# ------------------------------------------------------------------ figures
+
+_SIMPLE_FIGURES: dict[str, tuple[str, str, Callable]] = {
+    # name -> (db, clustering, builder over an ExperimentRunner)
+    "fig04": ("1to1000", "class", lambda r: figure4_rids_vs_handles(r)),
+    "fig06": ("1to1000", "class", figure6),
+    "fig07": ("1to1000", "class", figure7),
+    "fig09": ("1to1000", "class", figure9),
+    "fig11": ("1to1000", "class", lambda r: figure11(r)[0]),
+    "fig12": ("1to3", "class", lambda r: figure12(r)[0]),
+    "fig13": ("1to1000", "composition", lambda r: figure13(r)[0]),
+    "fig14": ("1to3", "composition", lambda r: figure14(r)[0]),
+    "handles": ("1to1000", "class", handle_modes_figure),
+}
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    names = (
+        sorted(_SIMPLE_FIGURES) + ["fig10"]
+        if args.figure == "all"
+        else [args.figure]
+    )
+    for name in names:
+        if name == "fig10":
+            print(figure10())
+            continue
+        db_name, clustering, builder = _SIMPLE_FIGURES[name]
+        maker = _DB_MAKERS[db_name]
+        config = maker(
+            scale=args.scale, clustering=_CLUSTERING[clustering]
+        )
+        print(
+            f"building {db_name} / {clustering} at scale "
+            f"{config.scale:g} ...",
+            file=sys.stderr,
+        )
+        runner = ExperimentRunner(load_derby(config))
+        print(builder(runner))
+    return 0
+
+
+# ------------------------------------------------------------------ load
+
+def cmd_load(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    derby = load_derby(config)
+    report = derby.load_report
+    print(f"database        : {config.n_providers} providers, "
+          f"{config.n_patients} patients")
+    print(f"organization    : {config.clustering.value}")
+    print(f"load time       : {report.seconds:.1f} simulated s")
+    print(f"objects created : {report.objects_created}")
+    print(f"commits         : {report.commits}")
+    print(f"records moved   : {report.records_moved}")
+    print(f"disk pages      : {report.disk_pages}")
+    for name, build in report.index_reports.items():
+        print(f"index {name}: grew {build.headers_grown} headers, "
+              f"moved {build.records_moved} records")
+    return 0
+
+
+# ------------------------------------------------------------------ shell
+
+def cmd_shell(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    print(f"loading {config.n_providers} providers / "
+          f"{config.n_patients} patients "
+          f"({config.clustering.value} clustering) ...")
+    derby = load_derby(config)
+    engine = OQLEngine(Catalog.from_derby(derby))
+    print("OQL shell — try:")
+    print("  select count(p) from p in Patients where p.mrn < 1000")
+    print("  select tuple(n: p.name, a: pa.age) from p in Providers, "
+          "pa in p.clients where pa.mrn < 500 and p.upin < 5")
+    print("Type 'quit' to exit.\n")
+    while True:
+        try:
+            line = input("oql> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not line:
+            continue
+        if line.lower() in ("quit", "exit", r"\q"):
+            return 0
+        try:
+            plan = engine.plan(line)
+            derby.start_cold_run()
+            rows = engine.execute(line)
+        except ReproError as exc:
+            print(f"error: {exc}")
+            continue
+        print(f"-- plan: {plan.description}")
+        for row in rows[:20]:
+            print(f"   {row}")
+        if len(rows) > 20:
+            print(f"   ... {len(rows) - 20} more rows")
+        meters = derby.db.counters.snapshot()
+        print(f"-- {len(rows)} row(s); {derby.db.clock.elapsed_s:.3f} "
+              f"simulated s; {meters.disk_reads} page reads; "
+              f"{meters.rpcs} RPCs; client miss "
+              f"{meters.client_miss_rate:.0%}\n")
+
+
+# ------------------------------------------------------------------ layout
+
+def cmd_layout(args: argparse.Namespace) -> int:
+    """Print the paper's Figure 2 for a freshly built database."""
+    from repro.cluster.inspect import describe_derby_layout
+
+    config = _make_config(args)
+    derby = load_derby(config)
+    print(describe_derby_layout(derby, max_records=args.records))
+    return 0
+
+
+# ------------------------------------------------------------------ analyze
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Run a measurement grid, fit the cost model, score the optimizer."""
+    from repro.analysis import fit_cost_model, score_optimizer
+    from repro.bench.figures import PAPER_ALGORITHMS
+    from repro.bench.workloads import SELECTIVITY_GRID
+
+    config = _make_config(args)
+    print(
+        f"building {config.n_providers} providers / {config.n_patients} "
+        f"patients ({config.clustering.value}) ...",
+        file=sys.stderr,
+    )
+    derby = load_derby(config)
+    runner = ExperimentRunner(derby)
+    runs = runner.run_join_grid(PAPER_ALGORITHMS, SELECTIVITY_GRID)
+
+    fit = fit_cost_model(runs)
+    print(f"cost model fitted over {fit.n_runs} runs "
+          f"(R^2 = {fit.r_squared:.4f})")
+    for name, coef in fit.coefficients.items():
+        print(f"  {name:16s} {coef * 1e6:12.2f} us/event")
+
+    score = score_optimizer(derby, runs)
+    print(f"\noptimizer: picked the measured winner in {score.wins}/"
+          f"{len(score.verdicts)} cells, mean regret "
+          f"{score.mean_regret:.2f}, max {score.max_regret:.2f}")
+    for v in score.verdicts:
+        mark = "==" if v.chosen == v.best else "!="
+        print(f"  {v.sel_patients:2d}/{v.sel_providers:2d}: chose "
+              f"{v.chosen:7s} {mark} best {v.best:7s} "
+              f"(regret {v.regret:.2f})")
+    return 0
+
+
+# ------------------------------------------------------------------ info
+
+def cmd_info(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    params = config.params
+    memory = params.memory
+    print("cost model")
+    print(f"  page read          : {params.page_read_ms} ms")
+    print(f"  page transfer      : {params.page_transfer_ms} ms")
+    print(f"  rpc overhead       : {params.rpc_overhead_ms} ms")
+    print(f"  handle get/unref   : {params.handle_get_us}/"
+          f"{params.handle_unref_us} us")
+    print(f"  swap fault         : {params.swap_fault_ms} ms")
+    print(f"  result element     : {params.result_append_txn_us} us (txn)")
+    print("memory (scaled)")
+    print(f"  ram                : {memory.ram_bytes / MB:.2f} MB")
+    print(f"  server cache       : {memory.server_cache_bytes / MB:.2f} MB "
+          f"({memory.server_cache_pages} pages)")
+    print(f"  client cache       : {memory.client_cache_bytes / MB:.2f} MB "
+          f"({memory.client_cache_pages} pages)")
+    print(f"  query memory       : {memory.query_memory_bytes / MB:.2f} MB")
+    print("database")
+    print(f"  providers          : {config.n_providers}")
+    print(f"  patients           : {config.n_patients}")
+    print(f"  scale              : {config.scale:g}")
+    return 0
+
+
+# ------------------------------------------------------------------ main
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Benchmarking Queries over Trees' "
+        "(SIGMOD 2000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate a paper figure")
+    figures.add_argument(
+        "figure",
+        choices=sorted(_SIMPLE_FIGURES) + ["fig10", "all"],
+        help="which figure to build",
+    )
+    figures.add_argument("--scale", type=float, default=None)
+    figures.set_defaults(func=cmd_figures)
+
+    load_cmd = sub.add_parser("load", help="build a database, report costs")
+    _add_db_options(load_cmd)
+    load_cmd.set_defaults(func=cmd_load)
+
+    shell = sub.add_parser("shell", help="interactive OQL shell")
+    _add_db_options(shell)
+    shell.set_defaults(func=cmd_shell)
+
+    layout = sub.add_parser(
+        "layout", help="print the Figure 2 view of a database's files"
+    )
+    _add_db_options(layout)
+    layout.add_argument("--records", type=int, default=10,
+                        help="records shown per file")
+    layout.set_defaults(func=cmd_layout)
+
+    analyze = sub.add_parser(
+        "analyze", help="fit the cost model, score the optimizer"
+    )
+    _add_db_options(analyze)
+    analyze.set_defaults(func=cmd_analyze)
+
+    info = sub.add_parser("info", help="print cost model and budgets")
+    _add_db_options(info)
+    info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

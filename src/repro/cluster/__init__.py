@@ -1,0 +1,35 @@
+"""Physical organizations and the bulk loader.
+
+The paper studies the same logical database under three physical
+organizations (Figure 2): class clustering (one file per class, creation
+order), random (one file, random interleaving), and composition
+clustering (each provider followed by its patients).  Section 5.3 also
+discusses the alternative of Carey & Lapis [4] — patients in provider
+order but in their *own* file — which we provide as
+``Clustering.ASSOCIATION``.
+
+:func:`~repro.cluster.loader.load_derby` materializes a
+:class:`~repro.derby.config.DerbyConfig` into a fully loaded database,
+applying the paper's Section 3.2 loading lessons (transaction-off mode,
+commit batches, index-first header stamping).
+"""
+
+from repro.cluster.churn import ChurnReport, register_new_patients
+from repro.cluster.inspect import describe_derby_layout, describe_layout
+from repro.cluster.loader import DerbyDatabase, LoadReport, load_derby
+from repro.cluster.reorganize import ReorganizeReport, dump_and_reload, dump_logical
+from repro.cluster.strategies import placement_order
+
+__all__ = [
+    "load_derby",
+    "DerbyDatabase",
+    "LoadReport",
+    "placement_order",
+    "register_new_patients",
+    "ChurnReport",
+    "dump_logical",
+    "dump_and_reload",
+    "ReorganizeReport",
+    "describe_layout",
+    "describe_derby_layout",
+]

@@ -1,0 +1,47 @@
+"""Bit-exact reimplementation of Unix ``lrand48``/``srand48``.
+
+The paper assigns the ``random_integer`` attribute "using the Unix
+lrand48 function" (Section 3.2); reproducing the generator keeps the
+randomized doctor-patient association distribution identical.
+
+``lrand48`` is the 48-bit linear congruential generator
+
+    X(n+1) = (a * X(n) + c) mod 2**48,   a = 0x5DEECE66D, c = 0xB
+
+returning the high 31 bits; ``srand48(seed)`` sets
+``X = (seed << 16) | 0x330E``.
+"""
+
+from __future__ import annotations
+
+_A = 0x5DEECE66D
+_C = 0xB
+_MASK = (1 << 48) - 1
+_SRAND48_PAD = 0x330E
+
+
+class Lrand48:
+    """One independent lrand48 stream."""
+
+    def __init__(self, seed: int = 0):
+        self.srand48(seed)
+
+    def srand48(self, seed: int) -> None:
+        """Seed exactly as C's ``srand48`` does (low 32 bits of seed)."""
+        self._x = (((seed & 0xFFFFFFFF) << 16) | _SRAND48_PAD) & _MASK
+
+    def lrand48(self) -> int:
+        """Next value, uniform over [0, 2**31)."""
+        self._x = (_A * self._x + _C) & _MASK
+        return self._x >> 17
+
+    def randrange(self, n: int) -> int:
+        """Uniform-ish over [0, n) the way 1990s C code did it: modulo."""
+        if n <= 0:
+            raise ValueError(f"randrange needs n >= 1, got {n}")
+        return self.lrand48() % n
+
+    def randint_1_to(self, n: int) -> int:
+        """Uniform-ish over [1, n] — the paper's random_integer
+        "comprised between 1 and 1M (the number of doctors)"."""
+        return 1 + self.randrange(n)

@@ -1,0 +1,77 @@
+"""The Derby schema, exactly as Figure 1 reduces it.
+
+Classes::
+
+    Provider: name, upin, address, specialty, office, clients set(Patient)
+    Patient:  name, mrn, age, sex, random_integer, num,
+              primary_care_provider: Provider
+
+Names::
+
+    Providers  set(Provider)
+    Patients   set(Patient)
+
+With 16-character strings the encoded Provider is ~120 bytes and the
+Patient ~60 bytes, matching the paper's Section 2 arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.objects.model import AttrKind, AttributeDef, Schema
+
+PROVIDER_CLASS = "Provider"
+PATIENT_CLASS = "Patient"
+
+PROVIDERS_NAME = "Providers"
+PATIENTS_NAME = "Patients"
+
+
+def build_derby_schema() -> Schema:
+    """Create a fresh schema holding the two Derby classes."""
+    schema = Schema()
+    schema.define(
+        PROVIDER_CLASS,
+        [
+            AttributeDef("name", AttrKind.STRING),
+            AttributeDef("upin", AttrKind.INT32),
+            AttributeDef("address", AttrKind.STRING),
+            AttributeDef("specialty", AttrKind.STRING),
+            AttributeDef("office", AttrKind.STRING),
+            AttributeDef("clients", AttrKind.REF_SET, target=PATIENT_CLASS),
+        ],
+    )
+    schema.define(
+        PATIENT_CLASS,
+        [
+            AttributeDef("name", AttrKind.STRING),
+            AttributeDef("mrn", AttrKind.INT32),
+            AttributeDef("age", AttrKind.INT32),
+            AttributeDef("sex", AttrKind.CHAR),
+            AttributeDef("random_integer", AttrKind.INT32),
+            AttributeDef("num", AttrKind.INT32),
+            AttributeDef(
+                "primary_care_provider", AttrKind.REF, target=PROVIDER_CLASS
+            ),
+        ],
+    )
+    return schema
+
+
+#: Comic-book names the paper's Figure 2 uses; cycled by the generator.
+CHARACTER_NAMES = (
+    "Donald Duck",
+    "Asterix",
+    "Daisy Duck",
+    "Obelix",
+    "Tintin",
+    "Corto Maltese",
+    "Valentin",
+    "Gaston",
+    "Spirou",
+    "Fantasio",
+)
+
+
+def character_name(i: int) -> str:
+    """A deterministic, vaguely Figure-2-flavoured name for object i."""
+    return f"{CHARACTER_NAMES[i % len(CHARACTER_NAMES)]} {i}"

@@ -1,0 +1,105 @@
+"""Exception hierarchy for the repro object database.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also catching programming
+errors (``TypeError``, ``KeyError``, ...) from their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class PageFullError(StorageError):
+    """A record did not fit in the target page."""
+
+
+class RecordNotFoundError(StorageError):
+    """No record lives at the requested rid (deleted or never allocated)."""
+
+
+class RecordTooLargeError(StorageError):
+    """A record exceeds the maximum size a single page can hold."""
+
+
+class BufferError_(ReproError):
+    """Base class for buffer-manager failures (trailing underscore avoids
+    shadowing the builtin :class:`BufferError`)."""
+
+
+class CachePinnedError(BufferError_):
+    """All buffer frames are pinned; no frame can be evicted."""
+
+
+class ObjectError(ReproError):
+    """Base class for object-layer failures."""
+
+
+class SchemaError(ObjectError):
+    """Invalid schema definition or schema/instance mismatch."""
+
+
+class DanglingReferenceError(ObjectError):
+    """A reference points at a rid that no longer holds an object."""
+
+
+class HandleError(ObjectError):
+    """Misuse of the handle table (double unreference, stale handle...)."""
+
+
+class IndexError_(ReproError):
+    """Base class for index failures (named with a trailing underscore to
+    avoid shadowing the builtin :class:`IndexError`)."""
+
+
+class DuplicateIndexError(IndexError_):
+    """An equivalent index already exists on the collection/key."""
+
+
+class IndexSlotOverflowError(IndexError_):
+    """An object belongs to more indexes than its header can record and
+    the header could not be extended."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction failures."""
+
+
+class TransactionMemoryError(TransactionError):
+    """Too many objects created within one transaction — the simulated
+    counterpart of O2's "out of memory" message (paper, Section 3.2)."""
+
+
+class TransactionStateError(TransactionError):
+    """Operation not legal in the transaction's current state."""
+
+
+class LockConflictError(TransactionError):
+    """A lock request conflicts with a lock held by another transaction."""
+
+
+class QueryError(ReproError):
+    """Base class for OQL front-end failures."""
+
+
+class OQLSyntaxError(QueryError):
+    """The OQL text could not be parsed."""
+
+
+class OQLTypeError(QueryError):
+    """The OQL query is syntactically valid but ill-typed against the
+    schema (unknown name, bad attribute, non-collection in ``from``...)."""
+
+
+class PlanError(QueryError):
+    """The optimizer could not produce an executable plan."""
+
+
+class BenchError(ReproError):
+    """Benchmark-harness failures (unknown figure, bad configuration)."""

@@ -1,0 +1,59 @@
+"""Query execution: scans, hash tables, sorting, and the paper's joins.
+
+Section 5 of the paper compares four pointer-based algorithms for the
+tree query
+
+    select f(p, pa)
+    from p in Providers, pa in p.clients
+    where pa.mrn < k1 and p.upin < k2
+
+* **NL** — parent-to-child navigation,
+* **NOJOIN** — child-to-parent navigation ("the join is hidden within
+  the navigation pattern"),
+* **PHJ** — hash the parents and join,
+* **CHJ** — hash the children and join (the paper's sequential-outer
+  variation of Shekita & Carey's pointer-based hash join [14]).
+
+We also implement the sort-merge pointer join the paper tried and
+dropped, and the hybrid-hash variant it names as the obvious next step
+but never tested, plus the Section 4 selection scans (standard scan,
+unclustered index scan, *sorted* unclustered index scan — Figure 8).
+"""
+
+from repro.exec.hash_table import QueryHashTable, chj_table_bytes, phj_table_bytes
+from repro.exec.joins import (
+    ALGORITHMS,
+    TreeJoinQuery,
+    hash_children_join,
+    hash_parents_join,
+    hybrid_hash_parents_join,
+    navigation_child_to_parent,
+    navigation_parent_to_child,
+    sort_merge_join,
+)
+from repro.exec.results import ResultBuilder
+from repro.exec.scans import (
+    SelectionResult,
+    select_indexed,
+    select_scan,
+)
+from repro.exec.sorter import sort_charged
+
+__all__ = [
+    "QueryHashTable",
+    "phj_table_bytes",
+    "chj_table_bytes",
+    "ResultBuilder",
+    "sort_charged",
+    "SelectionResult",
+    "select_scan",
+    "select_indexed",
+    "TreeJoinQuery",
+    "ALGORITHMS",
+    "navigation_parent_to_child",
+    "navigation_child_to_parent",
+    "hash_parents_join",
+    "hash_children_join",
+    "sort_merge_join",
+    "hybrid_hash_parents_join",
+]

@@ -1,0 +1,222 @@
+"""In-memory object representatives: O2's *Handles*.
+
+Section 4.4 of the paper lists what a Handle carries: a pointer to the
+object (in memory or on disk), status flags, a pointer to the shared
+type-information structure, the list of indexes containing the object,
+the count of pointers to the in-memory structure, a version pointer, and
+schema-update history — "all in all, the structure takes 60 Bytes of
+memory that have to be allocated, updated and freed whenever necessary".
+
+The paper's diagnosis is that this traffic dominates cold associative
+scans, and its proposed cures are a class hierarchy of handles (compact
+handles for literals), no handles at all for fixed-size tuple literals,
+and bulk allocation.  :class:`HandleMode` switches between O2-as-measured
+and each cure, so the Section 4.4 ablation is a one-argument change.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Callable
+
+from repro.errors import HandleError
+from repro.objects.model import ClassDef
+from repro.simtime import Bucket, CostParams, CounterSet, SimClock
+from repro.storage.rid import Rid
+
+#: Bytes of a full O2 handle (paper, Section 4.4).
+FULL_HANDLE_BYTES = 60
+#: Bytes of the proposed compact literal handle.
+COMPACT_HANDLE_BYTES = 16
+
+#: Fraction of the allocation cost charged when an existing handle is
+#: merely re-referenced (refcount bump, no allocation).
+_TOUCH_FRACTION = 0.1
+
+
+class HandleMode(enum.Enum):
+    """Which handle regime the system runs under."""
+
+    #: O2 as the paper measured it: 60-byte handles for objects *and*
+    #: literals (strings, complex values).
+    FULL = "full"
+    #: Section 4.4 cure #1: a handle class hierarchy — literals get
+    #: compact handles, objects keep full ones.
+    COMPACT_LITERALS = "compact_literals"
+    #: Section 4.4 cure #2: fixed-size tuple literals embedded in their
+    #: object get *no* separate handle at all (strings of fixed width
+    #: included); objects keep full handles.
+    INLINE_TUPLES = "inline_tuples"
+    #: Section 4.4 cure #3: bulk allocation — handles for whole pages of
+    #: objects are allocated/freed together, amortizing the cost.
+    BULK = "bulk"
+
+
+class Handle:
+    """One in-memory object representative."""
+
+    __slots__ = (
+        "rid",
+        "record",
+        "class_def",
+        "refcount",
+        "is_indexed",
+        "index_ids",
+        "version",
+        "schema_history",
+    )
+
+    def __init__(self, rid: Rid, record: bytes, class_def: ClassDef):
+        self.rid = rid
+        self.record = record
+        self.class_def = class_def
+        self.refcount = 1
+        self.is_indexed = False
+        self.index_ids: tuple[int, ...] = ()
+        self.version = None
+        self.schema_history = None
+
+    @property
+    def memory_bytes(self) -> int:
+        return FULL_HANDLE_BYTES
+
+    def __repr__(self) -> str:
+        return f"Handle({self.rid}, {self.class_def.name}, rc={self.refcount})"
+
+
+class HandleTable:
+    """Allocates, shares, and (lazily) frees handles.
+
+    * ``get`` returns the existing handle when one is live or parked in
+      the delayed-free list — O2 "allocates only one and keeps a record
+      of the number of pointers to this structure".
+    * ``unreference`` drops a refcount; at zero the handle parks in a
+      bounded FIFO ("the destruction of Handles is delayed as much as
+      possible so as to avoid unnecessary free/allocate").
+    * literal handles model the separate records O2 creates for strings
+      and complex values; their cost depends on :class:`HandleMode`.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        params: CostParams,
+        counters: CounterSet,
+        mode: HandleMode = HandleMode.FULL,
+        delayed_free_capacity: int = 4096,
+    ):
+        if delayed_free_capacity < 0:
+            raise ValueError("delayed_free_capacity must be >= 0")
+        self.clock = clock
+        self.params = params
+        self.counters = counters
+        self.mode = mode
+        self.delayed_free_capacity = delayed_free_capacity
+        self._live: dict[Rid, Handle] = {}
+        self._parked: OrderedDict[Rid, Handle] = OrderedDict()
+        self.peak_live = 0
+
+    # -- object handles -------------------------------------------------
+
+    def get(self, rid: Rid, loader: Callable[[], tuple[bytes, ClassDef]]) -> Handle:
+        """Return a referenced handle for ``rid``, loading the record via
+        ``loader`` only if no handle exists yet."""
+        handle = self._live.get(rid)
+        if handle is not None:
+            handle.refcount += 1
+            self._charge_alloc(_TOUCH_FRACTION)
+            return handle
+        handle = self._parked.pop(rid, None)
+        if handle is not None:
+            handle.refcount = 1
+            self._live[rid] = handle
+            self._charge_alloc(_TOUCH_FRACTION)
+            return handle
+        record, class_def = loader()
+        handle = Handle(rid, record, class_def)
+        self._live[rid] = handle
+        self.peak_live = max(self.peak_live, len(self._live))
+        self.counters.handles_allocated += 1
+        self._charge_alloc(1.0)
+        return handle
+
+    def unreference(self, handle: Handle) -> None:
+        """Drop one reference; park the handle when none remain."""
+        if handle.refcount <= 0:
+            raise HandleError(f"double unreference of {handle!r}")
+        handle.refcount -= 1
+        self.counters.handles_unreferenced += 1
+        self._charge_unref()
+        if handle.refcount == 0:
+            del self._live[handle.rid]
+            self._park(handle)
+
+    # -- literal handles ----------------------------------------------------
+
+    def charge_literal(self, fixed_size: bool = True) -> None:
+        """Account for the handle O2 gives a string/complex-value literal
+        when an attribute of that kind is materialized.
+
+        FULL mode pays the full get+unref pair; COMPACT_LITERALS pays the
+        compact pair; INLINE_TUPLES pays nothing for *fixed-size*
+        literals (they are embedded in their owner's tuple — Section 4.4)
+        and the compact pair for variable-size ones; BULK pays the
+        amortized full pair.
+        """
+        params = self.params
+        if self.mode is HandleMode.FULL:
+            us = params.handle_get_us + params.handle_unref_us
+        elif self.mode is HandleMode.COMPACT_LITERALS:
+            us = params.compact_handle_get_us + params.compact_handle_unref_us
+        elif self.mode is HandleMode.INLINE_TUPLES:
+            if fixed_size:
+                return
+            us = params.compact_handle_get_us + params.compact_handle_unref_us
+        else:  # BULK
+            us = (
+                params.handle_get_us + params.handle_unref_us
+            ) * params.bulk_handle_factor
+        self.counters.handles_allocated += 1
+        self.counters.handles_unreferenced += 1
+        self.clock.charge_us(Bucket.HANDLE, us)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    @property
+    def parked_count(self) -> int:
+        return len(self._parked)
+
+    @property
+    def memory_bytes(self) -> int:
+        return (len(self._live) + len(self._parked)) * FULL_HANDLE_BYTES
+
+    def clear(self) -> None:
+        """Forget every handle (client restart)."""
+        self._live.clear()
+        self._parked.clear()
+
+    # -- internals -------------------------------------------------------
+
+    def _charge_alloc(self, fraction: float) -> None:
+        us = self.params.handle_get_us * fraction
+        if self.mode is HandleMode.BULK:
+            us *= self.params.bulk_handle_factor
+        self.clock.charge_us(Bucket.HANDLE, us)
+
+    def _charge_unref(self) -> None:
+        us = self.params.handle_unref_us
+        if self.mode is HandleMode.BULK:
+            us *= self.params.bulk_handle_factor
+        self.clock.charge_us(Bucket.HANDLE, us)
+
+    def _park(self, handle: Handle) -> None:
+        if self.delayed_free_capacity == 0:
+            return
+        self._parked[handle.rid] = handle
+        while len(self._parked) > self.delayed_free_capacity:
+            self._parked.popitem(last=False)

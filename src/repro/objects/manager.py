@@ -1,0 +1,189 @@
+"""The object manager: records in, handles out.
+
+Sits between the storage/buffer substrate and everything above: loading
+an object means fetching its record through the page caches, then
+obtaining a handle from the handle table.  Attribute access decodes from
+the record at fixed offsets and pays the literal-handle tax O2 pays for
+strings and complex values (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DanglingReferenceError, ObjectError
+from repro.objects.codec import InlineSet, OverflowSet, RecordCodec
+from repro.objects.handle import Handle, HandleTable
+from repro.objects.header import ObjectHeader
+from repro.objects.model import AttrKind, ClassDef, Schema
+from repro.simtime import Bucket
+from repro.storage.disk import DiskManager
+from repro.storage.file import StorageFile
+from repro.storage.rid import Rid
+
+
+class ObjectManager:
+    """Loads objects as handles and decodes their attributes."""
+
+    def __init__(self, schema: Schema, disk: DiskManager, handles: HandleTable):
+        self.schema = schema
+        self.disk = disk
+        self.handles = handles
+        self._files: dict[int, StorageFile] = {}
+        self._codecs: dict[int, RecordCodec] = {}
+
+    # -- registry ---------------------------------------------------------
+
+    def register_file(self, sfile: StorageFile) -> StorageFile:
+        self._files[sfile.file_id] = sfile
+        return sfile
+
+    def file_for(self, rid: Rid) -> StorageFile:
+        try:
+            return self._files[rid.file_id]
+        except KeyError:
+            raise DanglingReferenceError(
+                f"rid {rid} points into an unregistered file"
+            ) from None
+
+    def codec(self, class_def: ClassDef) -> RecordCodec:
+        key = (class_def.class_id, class_def.schema_version)
+        codec = self._codecs.get(key)
+        if codec is None:
+            codec = RecordCodec(class_def)
+            self._codecs[key] = codec
+        return codec
+
+    # -- loading ----------------------------------------------------------
+
+    def read_record(self, rid: Rid) -> tuple[bytes, ClassDef]:
+        """Raw record + exact class *at the record's schema version*,
+        through the page caches, no handle."""
+        record, __ = self.file_for(rid).read_resolving(rid)
+        return record, self._class_of(record)
+
+    def _class_of(self, record: bytes) -> ClassDef:
+        return self.schema.class_version(
+            ObjectHeader.peek_class_id(record),
+            ObjectHeader.peek_schema_version(record),
+        )
+
+    def load(self, rid: Rid) -> Handle:
+        """Get a referenced handle for the object at ``rid`` ("get Handle
+        h" in the paper's Figure 8 pseudo-code)."""
+        return self.handles.get(rid, lambda: self.read_record(rid))
+
+    def unref(self, handle: Handle) -> None:
+        """"unreference h" in Figure 8."""
+        self.handles.unreference(handle)
+
+    # -- attribute access -------------------------------------------------------
+
+    def get_attr(self, handle: Handle, name: str) -> object:
+        """Decode one attribute ("get_att(h, name)" in Figure 8).
+
+        Charges the decode CPU and, for string/complex-value attributes,
+        the literal-handle traffic of the current handle mode.  For an
+        attribute added by schema evolution *after* this record was
+        written, the attribute's declared default is returned.
+        """
+        params = self.handles.params
+        self.handles.clock.charge_us(Bucket.CPU, params.attr_decode_us)
+        if not handle.class_def.has_attribute(name):
+            latest = self.schema.by_id(handle.class_def.class_id)
+            if latest.has_attribute(name):
+                return latest.attribute(name).default
+        attr = handle.class_def.attribute(name)
+        if attr.kind is AttrKind.STRING:
+            self.handles.charge_literal(fixed_size=True)
+        elif attr.kind is AttrKind.REF_SET:
+            self.handles.charge_literal(fixed_size=False)
+        return self.codec(handle.class_def).decode_attr(handle.record, name)
+
+    def get_attr_at(self, rid: Rid, name: str) -> object:
+        """Convenience: load, read one attribute, unreference."""
+        handle = self.load(rid)
+        try:
+            return self.get_attr(handle, name)
+        finally:
+            self.unref(handle)
+
+    def header_of(self, handle: Handle) -> ObjectHeader:
+        return ObjectHeader.decode(handle.record)
+
+    # -- mutation ------------------------------------------------------
+
+    def update_scalar(self, rid: Rid, name: str, value: object) -> Rid:
+        """Rewrite one scalar attribute in place; returns the (unchanged)
+        rid where the record lives."""
+        sfile = self.file_for(rid)
+        record, actual = sfile.read_resolving(rid)
+        class_def = self._class_of(record)
+        new_record = self.codec(class_def).update_scalar(record, name, value)
+        self._invalidate_handle(rid, actual, new_record)
+        return sfile.update(actual, new_record)
+
+    def update_set(self, rid: Rid, name: str, value: InlineSet | OverflowSet) -> Rid:
+        """Rewrite one set attribute; the record may grow and move."""
+        sfile = self.file_for(rid)
+        record, actual = sfile.read_resolving(rid)
+        class_def = self._class_of(record)
+        new_record = self.codec(class_def).update_set(record, name, value)
+        self._invalidate_handle(rid, actual, new_record)
+        return sfile.update(actual, new_record)
+
+    def upgrade_record(self, rid: Rid) -> Rid:
+        """Rewrite an object at its class's latest schema version.
+
+        New attributes get their declared defaults.  The record grows,
+        so it may move — like the post-hoc indexing of Section 3.2,
+        lazy upgrades preserve clustering best when batched with a
+        reload.  Returns the rid where the record now lives.
+        """
+        sfile = self.file_for(rid)
+        record, actual = sfile.read_resolving(rid)
+        old_class = self._class_of(record)
+        latest = self.schema.by_id(old_class.class_id)
+        if latest.schema_version == old_class.schema_version:
+            return actual
+        values = self.codec(old_class).decode(record)
+        header = ObjectHeader.decode(record)
+        header.schema_version = latest.schema_version
+        new_record = self.codec(latest).encode(header, values)
+        self.handles.clock.charge_us(
+            Bucket.LOAD, self.handles.params.object_create_us
+        )
+        self._invalidate_handle(rid, actual, new_record)
+        new_rid = sfile.update(actual, new_record)
+        # A parked handle for the old layout is stale: drop it.
+        self.handles._parked.pop(rid, None)
+        live = self.handles._live.get(rid)
+        if live is not None:
+            live.class_def = latest
+        return new_rid
+
+    def rewrite_header(self, rid: Rid, header: ObjectHeader) -> Rid:
+        """Replace an object's header (index-slot growth); the record
+        grows when slots are added, possibly moving the object — the
+        Section 3.2 reallocation."""
+        sfile = self.file_for(rid)
+        record, actual = sfile.read_resolving(rid)
+        old_size = ObjectHeader.peek_size(record)
+        new_record = header.encode() + record[old_size:]
+        self._invalidate_handle(rid, actual, new_record)
+        return sfile.update(actual, new_record)
+
+    def _invalidate_handle(self, rid: Rid, actual: Rid, new_record: bytes) -> None:
+        """Keep any cached handle's record in sync after a write — both
+        live handles and parked ones (which :meth:`HandleTable.get`
+        revives without reloading the record)."""
+        for key in (rid, actual):
+            for table in (self.handles._live, self.handles._parked):
+                handle = table.get(key)
+                if handle is not None:
+                    handle.record = new_record
+
+
+def require_class(schema: Schema, name: str) -> ClassDef:
+    """Lookup helper that turns a missing class into an ObjectError."""
+    if name not in schema:
+        raise ObjectError(f"class {name!r} is not defined in this schema")
+    return schema.cls(name)

@@ -1,0 +1,127 @@
+"""A friendly object-access façade: proxies over handles.
+
+The raw :class:`~repro.objects.manager.ObjectManager` API mirrors O2's
+engine interface (get handle / get_att / unreference) because that is
+what the experiments measure.  Application code — like the paper's O2C
+loaders — wants objects that behave like objects.  :class:`ObjectProxy`
+wraps a handle with attribute access, automatic dereferencing of
+references and sets, and deterministic release:
+
+    with proxies(db).fetch(rid) as patient:
+        print(patient.name, patient.age)
+        doctor = patient.primary_care_provider     # auto-deref
+        print(doctor.name)
+        for sibling in doctor.clients:             # iterate a ref-set
+            print(sibling.mrn)
+
+Everything still goes through handles and the caches, so proxy access
+costs exactly what the benchmarks measure for the same path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ObjectError
+from repro.objects.codec import InlineSet, OverflowSet
+from repro.objects.database import Database
+from repro.storage.rid import Rid
+
+
+class ObjectProxy:
+    """One object, attribute-accessible.  Use as a context manager (or
+    call :meth:`release`) to drop the underlying handle reference."""
+
+    __slots__ = ("_db", "_handle", "_released")
+
+    def __init__(self, db: Database, rid: Rid):
+        object.__setattr__(self, "_db", db)
+        object.__setattr__(self, "_handle", db.manager.load(rid))
+        object.__setattr__(self, "_released", False)
+
+    # -- attribute access ------------------------------------------------
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        handle = object.__getattribute__(self, "_handle")
+        db: Database = object.__getattribute__(self, "_db")
+        if object.__getattribute__(self, "_released"):
+            raise ObjectError("proxy used after release")
+        value = db.manager.get_attr(handle, name)
+        if isinstance(value, Rid):
+            return ObjectProxy(db, value)
+        if isinstance(value, (InlineSet, OverflowSet)):
+            return SetProxy(db, value)
+        return value
+
+    def __setattr__(self, name: str, value) -> None:
+        raise ObjectError(
+            "proxies are read-only; use ObjectManager.update_scalar / "
+            "update_set for writes"
+        )
+
+    # -- identity / lifecycle ------------------------------------------------
+
+    @property
+    def rid(self) -> Rid:
+        return object.__getattribute__(self, "_handle").rid
+
+    @property
+    def class_name(self) -> str:
+        return object.__getattribute__(self, "_handle").class_def.name
+
+    def release(self) -> None:
+        """Unreference the handle (idempotent)."""
+        if not object.__getattribute__(self, "_released"):
+            db: Database = object.__getattribute__(self, "_db")
+            db.manager.unref(object.__getattribute__(self, "_handle"))
+            object.__setattr__(self, "_released", True)
+
+    def __enter__(self) -> "ObjectProxy":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<{self.class_name} at {self.rid}>"
+
+
+class SetProxy:
+    """A ref-set attribute: sized, iterable, yielding proxies."""
+
+    __slots__ = ("_db", "_value")
+
+    def __init__(self, db: Database, value: InlineSet | OverflowSet):
+        self._db = db
+        self._value = value
+
+    def __len__(self) -> int:
+        return self._value.count
+
+    def rids(self) -> list[Rid]:
+        return list(self._db.iter_set_rids(self._value))
+
+    def __iter__(self) -> Iterator[ObjectProxy]:
+        for rid in self._db.iter_set_rids(self._value):
+            proxy = ObjectProxy(self._db, rid)
+            try:
+                yield proxy
+            finally:
+                proxy.release()
+
+
+class ProxyFactory:
+    """Entry point bound to one database."""
+
+    def __init__(self, db: Database):
+        self.db = db
+
+    def fetch(self, rid: Rid) -> ObjectProxy:
+        return ObjectProxy(self.db, rid)
+
+
+def proxies(db: Database) -> ProxyFactory:
+    """Proxy factory for ``db`` (see module docstring for usage)."""
+    return ProxyFactory(db)

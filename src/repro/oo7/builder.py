@@ -1,0 +1,191 @@
+"""Build a miniature OO7 database on the object engine.
+
+OO7's "small" configuration uses fan-out 3 assemblies over 7 levels,
+3 composite parts per base assembly and 20 atomic parts per composite
+part in a ring with 3 outgoing connections each.  The defaults here
+shrink the tree (the simulator's page mechanics do not need millions of
+parts to show the navigation patterns) but keep every structural ratio.
+
+Composite parts are laid out composition-style — each part's atomic
+parts directly follow it — which is what makes OO7-style traversals
+cache-friendly and is precisely the layout the paper's Figure 13/14
+experiments study from the associative side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.derby.lrand48 import Lrand48
+from repro.index import BTreeIndex, IndexManager
+from repro.objects.database import Database, PersistentCollection
+from repro.objects.handle import HandleMode
+from repro.oo7.schema import (
+    ATOMIC_PART_CLASS,
+    BASE_ASSEMBLY_CLASS,
+    COMPLEX_ASSEMBLY_CLASS,
+    COMPOSITE_PART_CLASS,
+    MODULE_CLASS,
+    build_oo7_schema,
+)
+from repro.simtime import CostParams
+from repro.storage.rid import Rid
+
+#: File holding the whole design database (OO7 clusters by composition).
+DESIGN_FILE = "design"
+
+
+@dataclass(frozen=True)
+class OO7Config:
+    """Structural parameters (OO7-small ratios, smaller tree)."""
+
+    assembly_fanout: int = 3
+    assembly_levels: int = 4          # OO7-small uses 7
+    parts_per_base: int = 3
+    atomic_per_composite: int = 20
+    connections_per_atomic: int = 3
+    seed: int = 7
+    scale: float = 0.01               # memory budgets only
+    params: CostParams = field(default_factory=lambda: CostParams().scaled(0.01))
+
+    @property
+    def n_base_assemblies(self) -> int:
+        return self.assembly_fanout ** (self.assembly_levels - 1)
+
+    @property
+    def n_composite_parts(self) -> int:
+        return self.n_base_assemblies * self.parts_per_base
+
+    @property
+    def n_atomic_parts(self) -> int:
+        return self.n_composite_parts * self.atomic_per_composite
+
+
+@dataclass
+class OO7Database:
+    """A built OO7 module."""
+
+    config: OO7Config
+    db: Database
+    module_rid: Rid
+    atomic_parts: PersistentCollection
+    composite_parts: PersistentCollection
+    by_atomic_id: BTreeIndex
+    by_build_date: BTreeIndex
+
+    def start_cold_run(self) -> None:
+        self.db.restart_cold()
+        self.db.reset_meters()
+
+
+def build_oo7(
+    config: OO7Config | None = None,
+    handle_mode: HandleMode = HandleMode.FULL,
+) -> OO7Database:
+    """Construct the module, its assembly tree and all parts."""
+    config = config or OO7Config()
+    db = Database(build_oo7_schema(), config.params, handle_mode)
+    db.create_file(DESIGN_FILE)
+    atomic_parts = db.new_collection("AtomicParts")
+    composite_parts = db.new_collection("CompositeParts")
+    manager = IndexManager(db)
+    by_atomic_id, __ = manager.create_index(
+        "AtomicParts_by_id", atomic_parts, "id"
+    )
+    by_build_date, __ = manager.create_index(
+        "CompositeParts_by_build_date", composite_parts, "build_date"
+    )
+
+    rng = Lrand48(config.seed)
+    counters = {"assembly": 0, "part": 0, "atomic": 0}
+    atomic_pairs: list[tuple[object, Rid]] = []
+    composite_pairs: list[tuple[object, Rid]] = []
+
+    def build_composite_part() -> Rid:
+        counters["part"] += 1
+        part_id = counters["part"]
+        # Atomic parts first (they directly follow... the part record is
+        # written after, but all land contiguously in the design file).
+        atomic_rids: list[Rid] = []
+        for __i in range(config.atomic_per_composite):
+            counters["atomic"] += 1
+            rid = db.create_object(
+                ATOMIC_PART_CLASS,
+                {
+                    "id": counters["atomic"],
+                    "x": rng.randrange(100_000),
+                    "y": rng.randrange(100_000),
+                    "doc_id": part_id,
+                    "conn_out": (),
+                },
+                DESIGN_FILE,
+                index_ids=(by_atomic_id.index_id,),
+            )
+            atomic_rids.append(rid)
+            atomic_parts.append(rid)
+            atomic_pairs.append((counters["atomic"], rid))
+        # Ring + chords connections.
+        n = len(atomic_rids)
+        for i, rid in enumerate(atomic_rids):
+            targets = [
+                atomic_rids[(i + 1 + step * 3) % n]
+                for step in range(config.connections_per_atomic)
+            ]
+            db.manager.update_set(rid, "conn_out", db.prepare_set(targets))
+        build_date = rng.randrange(10_000)
+        part_rid = db.create_object(
+            COMPOSITE_PART_CLASS,
+            {
+                "id": part_id,
+                "build_date": build_date,
+                "root_part": atomic_rids[0],
+                "parts": atomic_rids,
+            },
+            DESIGN_FILE,
+            index_ids=(by_build_date.index_id,),
+        )
+        composite_parts.append(part_rid)
+        composite_pairs.append((build_date, part_rid))
+        return part_rid
+
+    def build_assembly(level: int) -> Rid:
+        counters["assembly"] += 1
+        assembly_id = counters["assembly"]
+        if level == config.assembly_levels - 1:
+            components = [
+                build_composite_part() for __i in range(config.parts_per_base)
+            ]
+            return db.create_object(
+                BASE_ASSEMBLY_CLASS,
+                {"id": assembly_id, "components": components},
+                DESIGN_FILE,
+            )
+        children = [
+            build_assembly(level + 1) for __i in range(config.assembly_fanout)
+        ]
+        return db.create_object(
+            COMPLEX_ASSEMBLY_CLASS,
+            {"id": assembly_id, "level": level, "subassemblies": children},
+            DESIGN_FILE,
+        )
+
+    root = build_assembly(0)
+    module_rid = db.create_object(
+        MODULE_CLASS,
+        {"id": 1, "title": "module-1", "assemblies": [root]},
+        DESIGN_FILE,
+    )
+    atomic_parts.flush()
+    composite_parts.flush()
+    by_atomic_id.bulk_build(atomic_pairs)
+    by_build_date.bulk_build(composite_pairs)
+    db.shutdown()
+    return OO7Database(
+        config=config,
+        db=db,
+        module_rid=module_rid,
+        atomic_parts=atomic_parts,
+        composite_parts=composite_parts,
+        by_atomic_id=by_atomic_id,
+        by_build_date=by_build_date,
+    )

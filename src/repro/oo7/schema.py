@@ -1,0 +1,74 @@
+"""The OO7 design-database schema (miniature).
+
+Hierarchy (fan-outs are configuration parameters)::
+
+    Module
+      └── ComplexAssembly (a tree of depth `levels`)
+            └── BaseAssembly (the leaves)
+                  └── CompositePart (shared documents omitted)
+                        └── AtomicPart (a connected graph per part)
+
+Atomic parts carry ``x``/``y`` build attributes and are wired to
+``conn_out`` neighbours inside their composite part — the structure the
+OO7 traversals chase pointer by pointer.
+"""
+
+from __future__ import annotations
+
+from repro.objects.model import AttrKind, AttributeDef, Schema
+
+MODULE_CLASS = "Module"
+COMPLEX_ASSEMBLY_CLASS = "ComplexAssembly"
+BASE_ASSEMBLY_CLASS = "BaseAssembly"
+COMPOSITE_PART_CLASS = "CompositePart"
+ATOMIC_PART_CLASS = "AtomicPart"
+
+
+def build_oo7_schema() -> Schema:
+    schema = Schema()
+    schema.define(
+        MODULE_CLASS,
+        [
+            AttributeDef("id", AttrKind.INT32),
+            AttributeDef("title", AttrKind.STRING),
+            AttributeDef("assemblies", AttrKind.REF_SET,
+                         target=COMPLEX_ASSEMBLY_CLASS),
+        ],
+    )
+    schema.define(
+        COMPLEX_ASSEMBLY_CLASS,
+        [
+            AttributeDef("id", AttrKind.INT32),
+            AttributeDef("level", AttrKind.INT32),
+            AttributeDef("subassemblies", AttrKind.REF_SET),
+        ],
+    )
+    schema.define(
+        BASE_ASSEMBLY_CLASS,
+        [
+            AttributeDef("id", AttrKind.INT32),
+            AttributeDef("components", AttrKind.REF_SET,
+                         target=COMPOSITE_PART_CLASS),
+        ],
+    )
+    schema.define(
+        COMPOSITE_PART_CLASS,
+        [
+            AttributeDef("id", AttrKind.INT32),
+            AttributeDef("build_date", AttrKind.INT32),
+            AttributeDef("root_part", AttrKind.REF, target=ATOMIC_PART_CLASS),
+            AttributeDef("parts", AttrKind.REF_SET, target=ATOMIC_PART_CLASS),
+        ],
+    )
+    schema.define(
+        ATOMIC_PART_CLASS,
+        [
+            AttributeDef("id", AttrKind.INT32),
+            AttributeDef("x", AttrKind.INT32),
+            AttributeDef("y", AttrKind.INT32),
+            AttributeDef("doc_id", AttrKind.INT32),
+            AttributeDef("conn_out", AttrKind.REF_SET,
+                         target=ATOMIC_PART_CLASS),
+        ],
+    )
+    return schema

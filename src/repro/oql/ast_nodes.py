@@ -1,0 +1,116 @@
+"""OQL abstract syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+
+@dataclass(frozen=True)
+class Path(Expr):
+    """``var.attr1.attr2...`` — a variable, or navigation from it."""
+
+    var: str
+    attrs: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return ".".join((self.var, *self.attrs))
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Comparison: ``left op right`` with op in < <= > >= = !=."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """``and`` / ``or`` over two or more operands; ``not`` over one."""
+
+    op: str  # "and" | "or" | "not"
+    operands: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class TupleExpr(Expr):
+    """``tuple(name: expr, ...)`` or ``[expr, expr]`` (auto-named)."""
+
+    fields: tuple[tuple[str, Expr], ...]
+
+
+@dataclass(frozen=True)
+class CollectionRef(Expr):
+    """A named database collection in a from-clause."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class AggregateExpr(Expr):
+    """``count(var)`` / ``count(*)`` / ``sum(var.attr)`` / ``avg`` /
+    ``min`` / ``max``.  ``arg`` is ``None`` for ``count(*)``."""
+
+    func: str               # "count" | "sum" | "avg" | "min" | "max"
+    arg: Path | None
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """One ``order by`` term."""
+
+    key: Path
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Expr):
+    """``exists var in outer.set_attr : condition`` — OQL's existential
+    quantifier over a set attribute (a navigational semijoin)."""
+
+    var: str
+    source: Path
+    condition: Expr
+
+
+@dataclass(frozen=True)
+class FromClause:
+    """``var in source`` — source is a CollectionRef or a Path
+    (navigation into a set attribute of an earlier variable)."""
+
+    var: str
+    source: Expr
+
+
+@dataclass(frozen=True)
+class Query:
+    """``select [distinct] <expr> from <clauses> [where <expr>]
+    [order by <path> [asc|desc], ...]``."""
+
+    select: Expr
+    from_clauses: tuple[FromClause, ...]
+    where: Expr | None = None
+    distinct: bool = False
+    order_by: tuple[OrderBy, ...] = ()
+
+
+def conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a where-clause into its top-level AND terms."""
+    if expr is None:
+        return []
+    if isinstance(expr, BoolOp) and expr.op == "and":
+        out: list[Expr] = []
+        for operand in expr.operands:
+            out.extend(conjuncts(operand))
+        return out
+    return [expr]

@@ -1,0 +1,246 @@
+"""OQL execution: plans in, rows out.
+
+The engine interprets the optimizer's physical plans against the object
+manager, reusing the measured execution machinery (Figure 8 scan shapes,
+the Section 5 join algorithms) so an OQL query costs exactly what the
+benchmarks measure for the same access path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.exec.joins import ALGORITHMS, TreeJoinQuery
+from repro.exec.results import ResultBuilder
+from repro.exec.sorter import sort_charged
+from repro.oql.ast_nodes import Query
+from repro.oql.catalog import Catalog
+from repro.oql.optimizer import (
+    Optimizer,
+    SargablePredicate,
+    SelectionPlan,
+    TreeJoinPlan,
+)
+from repro.oql.parser import parse
+from repro.simtime import Bucket
+
+_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class OQLEngine:
+    """Parses, optimizes and executes OQL text against one catalog."""
+
+    def __init__(self, catalog: Catalog, include_extensions: bool = False):
+        self.catalog = catalog
+        self.optimizer = Optimizer(catalog, include_extensions)
+
+    # -- public API ----------------------------------------------------
+
+    def plan(self, source: str | Query) -> SelectionPlan | TreeJoinPlan:
+        query = parse(source) if isinstance(source, str) else source
+        return self.optimizer.plan(query)
+
+    def execute(self, source: str | Query) -> list[tuple]:
+        """Run a query; rows come back as tuples in select-clause order."""
+        plan = self.plan(source)
+        if isinstance(plan, SelectionPlan):
+            rows = self._run_selection(plan)
+        else:
+            rows = self._run_tree_join(plan)
+        if plan.distinct:
+            rows = list(dict.fromkeys(rows))
+        return rows
+
+    # -- selections -----------------------------------------------------
+
+    def _run_selection(self, plan: SelectionPlan) -> list[tuple]:
+        db = self.catalog.db
+        om = db.manager
+        info = self.catalog.collection(plan.collection_name)
+
+        if plan.index_only:
+            return [self._run_index_only_aggregate(plan)]
+
+        if plan.index is None:
+            rid_source = info.collection.iter_rids()
+        else:
+            low, high, inc_low, inc_high = plan.predicate.bounds()  # type: ignore[union-attr]
+            rids = [
+                entry.rid
+                for entry in plan.index.range_scan(low, high, inc_low, inc_high)
+            ]
+            if plan.sorted_rids:
+                rids = sort_charged(rids, db.clock, db.params)
+            rid_source = iter(rids)
+
+        if plan.aggregate is not None:
+            return [self._run_fetching_aggregate(plan, rid_source)]
+
+        fetch_attrs = list(plan.project)
+        sort_attrs = [attr for attr, __ in plan.order_by]
+        for attr in sort_attrs:
+            if attr not in fetch_attrs:
+                fetch_attrs.append(attr)
+
+        result = ResultBuilder(db)
+        keyed: list[tuple[tuple, object]] = []
+        for rid in rid_source:
+            handle = om.load(rid)
+            if self._passes(om, handle, plan.residuals) and self._passes_exists(
+                om, handle, plan.exists_filters
+            ):
+                values = {
+                    attr: om.get_attr(handle, attr) for attr in fetch_attrs
+                }
+                row = tuple(values[attr] for attr in plan.project)
+                out = row if len(plan.project) > 1 else row[0]
+                result.append(out)
+                if sort_attrs:
+                    keyed.append(
+                        (tuple(values[attr] for attr in sort_attrs), out)
+                    )
+            om.unref(handle)
+        if not plan.order_by:
+            return result.rows
+        return self._apply_order(plan, keyed)
+
+    def _apply_order(
+        self, plan: SelectionPlan, keyed: list[tuple[tuple, object]]
+    ) -> list[object]:
+        db = self.catalog.db
+        rows = keyed
+        # Sort by each term from the last to the first (stable sorts
+        # compose), honouring per-term direction.
+        for position in range(len(plan.order_by) - 1, -1, -1):
+            __, descending = plan.order_by[position]
+            rows = sort_charged(
+                rows,
+                db.clock,
+                db.params,
+                key=lambda item, p=position: item[0][p],
+            )
+            if descending:
+                rows = rows[::-1]
+        return [row for __, row in rows]
+
+    def _run_index_only_aggregate(self, plan: SelectionPlan) -> object:
+        """Answer count/sum/avg/min/max straight from index entries."""
+        db = self.catalog.db
+        func, __attr = plan.aggregate  # type: ignore[misc]
+        low, high, inc_low, inc_high = plan.predicate.bounds()  # type: ignore[union-attr]
+        count = 0
+        total = 0.0
+        lo: object | None = None
+        hi: object | None = None
+        for entry in plan.index.range_scan(low, high, inc_low, inc_high):  # type: ignore[union-attr]
+            db.clock.charge_us(Bucket.CPU, db.params.compare_us)
+            count += 1
+            if func != "count":
+                key = entry.key
+                total += key  # type: ignore[operator]
+                lo = key if lo is None or key < lo else lo  # type: ignore[operator]
+                hi = key if hi is None or key > hi else hi  # type: ignore[operator]
+        return _finish_aggregate(func, count, total, lo, hi)
+
+    def _run_fetching_aggregate(self, plan: SelectionPlan, rid_source) -> object:
+        """Aggregate that must look at the objects (unindexed predicate,
+        residuals, or an aggregate over a non-key attribute)."""
+        db = self.catalog.db
+        om = db.manager
+        func, attr = plan.aggregate  # type: ignore[misc]
+        count = 0
+        total = 0.0
+        lo: object | None = None
+        hi: object | None = None
+        for rid in rid_source:
+            handle = om.load(rid)
+            if self._passes(om, handle, plan.residuals) and self._passes_exists(
+                om, handle, plan.exists_filters
+            ):
+                count += 1
+                if func != "count":
+                    value = om.get_attr(handle, attr)  # type: ignore[arg-type]
+                    total += value  # type: ignore[operator]
+                    lo = value if lo is None or value < lo else lo  # type: ignore[operator]
+                    hi = value if hi is None or value > hi else hi  # type: ignore[operator]
+            om.unref(handle)
+        return _finish_aggregate(func, count, total, lo, hi)
+
+    def _passes(self, om, handle, predicates: tuple[SargablePredicate, ...]) -> bool:
+        db = self.catalog.db
+        for pred in predicates:
+            value = om.get_attr(handle, pred.attr)
+            db.clock.charge_us(Bucket.CPU, db.params.predicate_us)
+            if not _OPS[pred.op](value, pred.value):
+                return False
+        return True
+
+    def _passes_exists(self, om, handle, filters) -> bool:
+        """Evaluate existential semijoin filters by navigating the set
+        attribute until a matching child is found (short-circuit)."""
+        db = self.catalog.db
+        for filt in filters:
+            set_value = om.get_attr(handle, filt.set_attr)
+            matched = False
+            for child_rid in db.iter_set_rids(set_value):
+                child = om.load(child_rid)
+                ok = self._passes(om, child, (filt.child_pred,))
+                om.unref(child)
+                if ok:
+                    matched = True
+                    break
+            if not matched:
+                return False
+        return True
+
+    # -- tree joins --------------------------------------------------------
+
+    def _run_tree_join(self, plan: TreeJoinPlan) -> list[tuple]:
+        rel = plan.relationship
+        parent_index = self.catalog.index_for(rel.parent_collection, plan.parent_key)
+        child_index = self.catalog.index_for(rel.child_collection, plan.child_key)
+        if parent_index is None or child_index is None:
+            raise PlanError("planned indexes vanished from the catalog")
+        query = TreeJoinQuery(
+            db=self.catalog.db,
+            parent_index=parent_index,
+            child_index=child_index,
+            parent_high=plan.parent_high,
+            child_high=plan.child_high,
+            n_parents=self.catalog.collection_size(rel.parent_collection),
+            parent_key=plan.parent_key,
+            child_key=plan.child_key,
+            child_ref=rel.child_ref,
+            parent_set=rel.set_attr,
+            parent_project=plan.parent_project,
+            child_project=plan.child_project,
+        )
+        rows = ALGORITHMS[plan.algorithm](query)
+        if plan.parent_first:
+            return rows
+        return [(child_value, parent_value) for parent_value, child_value in rows]
+
+
+def _finish_aggregate(
+    func: str, count: int, total: float, lo: object | None, hi: object | None
+) -> object:
+    if func == "count":
+        return count
+    if func == "sum":
+        return total
+    if func == "avg":
+        return total / count if count else None
+    if func == "min":
+        return lo
+    return hi
+
+
+def run_oql(catalog: Catalog, source: str) -> list[tuple]:
+    """One-shot convenience: parse, optimize, execute."""
+    return OQLEngine(catalog).execute(source)

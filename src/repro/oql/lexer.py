@@ -1,0 +1,98 @@
+"""OQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OQLSyntaxError
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "in",
+    "where",
+    "and",
+    "or",
+    "not",
+    "tuple",
+    "count",
+    "sum",
+    "avg",
+    "min",
+    "max",
+    "order",
+    "by",
+    "asc",
+    "desc",
+    "exists",
+}
+
+_TWO_CHAR_OPS = ("<=", ">=", "!=")
+_ONE_CHAR_OPS = "<>=.,():[]*-"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # "kw", "ident", "int", "float", "string", "op", "eof"
+    text: str
+    pos: int
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == "kw" and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.text == op
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split OQL text into tokens; raises OQLSyntaxError on junk."""
+    tokens: list[Token] = []
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == '"' or ch == "'":
+            end = source.find(ch, i + 1)
+            if end < 0:
+                raise OQLSyntaxError(f"unterminated string at position {i}")
+            tokens.append(Token("string", source[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isdigit() or source[j] == "_"):
+                j += 1
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+                tokens.append(Token("float", source[i:j], i))
+            else:
+                tokens.append(Token("int", source[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "kw" if word.lower() in KEYWORDS else "ident"
+            text = word.lower() if kind == "kw" else word
+            tokens.append(Token(kind, text, i))
+            i = j
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("op", two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, i))
+            i += 1
+            continue
+        raise OQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

@@ -1,0 +1,67 @@
+"""Export benchmark results for external analysis.
+
+The paper converted its O2 results to Gnuplot input with YAT [8]; we go
+straight to CSV and gnuplot ``.dat`` text from :class:`StatRow` lists.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Sequence
+
+from repro.stats.store import StatRow
+
+_CSV_COLUMNS = (
+    "numtest",
+    "algo",
+    "cluster",
+    "selectivity",
+    "selectivity_parents",
+    "cold",
+    "elapsed_s",
+    "rpcs",
+    "rpc_mb",
+    "d2sc_pages",
+    "sc2cc_pages",
+    "cc_faults",
+    "cc_missrate",
+    "sc_missrate",
+)
+
+
+def to_csv(rows: Iterable[StatRow]) -> str:
+    """Render rows as CSV text (header + one line per Stat)."""
+    out = io.StringIO()
+    out.write(",".join(_CSV_COLUMNS) + "\n")
+    for row in rows:
+        values = [getattr(row, col) for col in _CSV_COLUMNS]
+        out.write(
+            ",".join(
+                f"{v:.4f}" if isinstance(v, float) else str(v) for v in values
+            )
+            + "\n"
+        )
+    return out.getvalue()
+
+
+def to_gnuplot(
+    rows: Sequence[StatRow],
+    x: str = "selectivity",
+    y: str = "elapsed_s",
+    series: str = "algo",
+) -> str:
+    """Render rows as a gnuplot ``.dat`` file: one indexed block per
+    series value, ``x y`` pairs sorted by x."""
+    blocks: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        key = str(getattr(row, series))
+        blocks.setdefault(key, []).append(
+            (float(getattr(row, x)), float(getattr(row, y)))
+        )
+    out = io.StringIO()
+    for name in sorted(blocks):
+        out.write(f"# series: {name}\n")
+        for px, py in sorted(blocks[name]):
+            out.write(f"{px:g} {py:g}\n")
+        out.write("\n\n")
+    return out.getvalue()

@@ -1,0 +1,90 @@
+"""The Figure 3 object schema for benchmark results.
+
+Classes (attribute comments quote the paper's own annotations)::
+
+    class Stat
+        numtest, query: Query, database: {Extent}, cluster, algo,
+        system: System,
+        CCPagefaults      /* page faults in the client cache */
+        ElapsedTime       /* elapsed time of the query */
+        RPCsnumber        /* RPCs between client and server cache */
+        RPCstotalsize     /* total size (Mb) of those messages */
+        D2SCreadpages     /* pages read disk -> server cache */
+        SC2CCreadpages    /* pages read server cache -> client cache */
+        CCMissrate        /* client cache miss rate (percent) */
+        SCMissrate        /* server cache miss rate (percent) */
+
+    class Query:  cold, projectiontype, selectivity, text
+    class Extent: classname, size, associations {[extent, linkratio]}
+    class System: servercachesize, clientcachesize, sameworkstation
+"""
+
+from __future__ import annotations
+
+from repro.objects.model import AttrKind, AttributeDef, Schema
+
+STAT_CLASS = "Stat"
+QUERY_CLASS = "Query"
+EXTENT_CLASS = "Extent"
+SYSTEM_CLASS = "System"
+ASSOCIATION_CLASS = "Association"
+
+#: Query text is longer than the default 16-byte strings.
+_TEXT_WIDTH = 128
+
+
+def build_stats_schema() -> Schema:
+    """The Figure 3 schema, expressed in our object model."""
+    schema = Schema()
+    schema.define(
+        SYSTEM_CLASS,
+        [
+            AttributeDef("servercachesize", AttrKind.INT32),
+            AttributeDef("clientcachesize", AttrKind.INT32),
+            AttributeDef("sameworkstation", AttrKind.BOOL),
+        ],
+    )
+    schema.define(
+        QUERY_CLASS,
+        [
+            AttributeDef("cold", AttrKind.BOOL),
+            AttributeDef("projectiontype", AttrKind.STRING, width=32),
+            AttributeDef("selectivity", AttrKind.INT32),
+            AttributeDef("text", AttrKind.STRING, width=_TEXT_WIDTH),
+        ],
+    )
+    schema.define(
+        EXTENT_CLASS,
+        [
+            AttributeDef("classname", AttrKind.STRING, width=32),
+            AttributeDef("size", AttrKind.INT32),
+            AttributeDef("associations", AttrKind.REF_SET, target=ASSOCIATION_CLASS),
+        ],
+    )
+    schema.define(
+        ASSOCIATION_CLASS,
+        [
+            AttributeDef("extent", AttrKind.REF, target=EXTENT_CLASS),
+            AttributeDef("linkratio", AttrKind.INT32),
+        ],
+    )
+    schema.define(
+        STAT_CLASS,
+        [
+            AttributeDef("numtest", AttrKind.INT32),
+            AttributeDef("query", AttrKind.REF, target=QUERY_CLASS),
+            AttributeDef("database", AttrKind.REF_SET, target=EXTENT_CLASS),
+            AttributeDef("cluster", AttrKind.STRING, width=32),
+            AttributeDef("algo", AttrKind.STRING, width=32),
+            AttributeDef("system", AttrKind.REF, target=SYSTEM_CLASS),
+            AttributeDef("CCPagefaults", AttrKind.INT32),
+            AttributeDef("ElapsedTime", AttrKind.REAL64),
+            AttributeDef("RPCsnumber", AttrKind.INT32),
+            AttributeDef("RPCstotalsize", AttrKind.REAL64),
+            AttributeDef("D2SCreadpages", AttrKind.INT32),
+            AttributeDef("SC2CCreadpages", AttrKind.INT32),
+            AttributeDef("CCMissrate", AttrKind.INT32),
+            AttributeDef("SCMissrate", AttrKind.INT32),
+        ],
+    )
+    return schema

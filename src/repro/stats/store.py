@@ -1,0 +1,193 @@
+"""The benchmark-results database.
+
+A :class:`StatsDatabase` is an instance of this library's own object
+database holding ``Stat`` objects — the paper's own medicine, taken.
+``record_experiment`` turns one measured run (metadata + meter snapshot +
+elapsed simulated time) into a persistent ``Stat``; the query helpers do
+what the paper praises a real query language for ("a query language can
+be used to extract the information you are looking for").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.objects.database import Database
+from repro.simtime import MeterSnapshot
+from repro.stats.schema import (
+    EXTENT_CLASS,
+    QUERY_CLASS,
+    STAT_CLASS,
+    SYSTEM_CLASS,
+    build_stats_schema,
+)
+from repro.storage.rid import Rid
+from repro.units import MB
+
+_FILE = "stats"
+
+
+@dataclass(frozen=True)
+class StatRow:
+    """One decoded Stat (plus its Query), flat for analysis/export."""
+
+    numtest: int
+    algo: str
+    cluster: str
+    selectivity: int
+    selectivity_parents: int
+    cold: bool
+    projectiontype: str
+    text: str
+    elapsed_s: float
+    rpcs: int
+    rpc_mb: float
+    d2sc_pages: int
+    sc2cc_pages: int
+    cc_faults: int
+    cc_missrate: int
+    sc_missrate: int
+
+
+class StatsDatabase:
+    """Stores and queries experiment results."""
+
+    def __init__(self) -> None:
+        self.db = Database(build_stats_schema())
+        self.db.create_file(_FILE)
+        self.stats = self.db.new_collection("Stats")
+        self._numtest = 0
+        #: (selectivity on children, selectivity on parents) per stat,
+        #: kept alongside because Figure 3's Query has one selectivity
+        #: field while the Section 5 experiments vary two.
+        self._parent_sel: dict[Rid, int] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record_experiment(
+        self,
+        algo: str,
+        cluster: str,
+        elapsed_s: float,
+        meters: MeterSnapshot,
+        text: str = "",
+        selectivity: int = 0,
+        selectivity_parents: int = 0,
+        cold: bool = True,
+        projectiontype: str = "tuple",
+        server_cache_bytes: int = 0,
+        client_cache_bytes: int = 0,
+    ) -> Rid:
+        """Persist one experiment; returns the Stat's rid."""
+        self._numtest += 1
+        system_rid = self.db.create_object(
+            SYSTEM_CLASS,
+            {
+                "servercachesize": server_cache_bytes,
+                "clientcachesize": client_cache_bytes,
+                "sameworkstation": True,
+            },
+            _FILE,
+        )
+        query_rid = self.db.create_object(
+            QUERY_CLASS,
+            {
+                "cold": cold,
+                "projectiontype": projectiontype,
+                "selectivity": selectivity,
+                "text": text,
+            },
+            _FILE,
+        )
+        stat_rid = self.db.create_object(
+            STAT_CLASS,
+            {
+                "numtest": self._numtest,
+                "query": query_rid,
+                "cluster": cluster,
+                "algo": algo,
+                "system": system_rid,
+                "CCPagefaults": meters.client_faults,
+                "ElapsedTime": elapsed_s,
+                "RPCsnumber": meters.rpcs,
+                "RPCstotalsize": meters.rpc_bytes / MB,
+                "D2SCreadpages": meters.disk_reads,
+                "SC2CCreadpages": meters.server_to_client,
+                "CCMissrate": round(meters.client_miss_rate * 100),
+                "SCMissrate": round(meters.server_miss_rate * 100),
+            },
+            _FILE,
+        )
+        self.stats.append(stat_rid)
+        self._parent_sel[stat_rid] = selectivity_parents
+        return stat_rid
+
+    def record_extent(self, classname: str, size: int) -> Rid:
+        """Persist an Extent description (database shape metadata)."""
+        return self.db.create_object(
+            EXTENT_CLASS, {"classname": classname, "size": size}, _FILE
+        )
+
+    # -- querying -------------------------------------------------------------
+
+    def rows(
+        self,
+        algo: str | None = None,
+        cluster: str | None = None,
+        selectivity: int | None = None,
+        cold: bool | None = None,
+    ) -> list[StatRow]:
+        """Decode (and filter) every stored Stat."""
+        om = self.db.manager
+        out: list[StatRow] = []
+        for rid in self.stats.iter_rids():
+            record, class_def = om.read_record(rid)
+            codec = om.codec(class_def)
+            stat = codec.decode(record)
+            query_rid = stat["query"]
+            qrecord, qclass = om.read_record(query_rid)
+            query = om.codec(qclass).decode(qrecord)
+            row = StatRow(
+                numtest=stat["numtest"],
+                algo=stat["algo"],
+                cluster=stat["cluster"],
+                selectivity=query["selectivity"],
+                selectivity_parents=self._parent_sel.get(rid, 0),
+                cold=query["cold"],
+                projectiontype=query["projectiontype"],
+                text=query["text"],
+                elapsed_s=stat["ElapsedTime"],
+                rpcs=stat["RPCsnumber"],
+                rpc_mb=stat["RPCstotalsize"],
+                d2sc_pages=stat["D2SCreadpages"],
+                sc2cc_pages=stat["SC2CCreadpages"],
+                cc_faults=stat["CCPagefaults"],
+                cc_missrate=stat["CCMissrate"],
+                sc_missrate=stat["SCMissrate"],
+            )
+            if algo is not None and row.algo != algo:
+                continue
+            if cluster is not None and row.cluster != cluster:
+                continue
+            if selectivity is not None and row.selectivity != selectivity:
+                continue
+            if cold is not None and row.cold != cold:
+                continue
+            out.append(row)
+        return out
+
+    def best_algorithm(
+        self, cluster: str, selectivity: int, selectivity_parents: int
+    ) -> StatRow | None:
+        """The fastest recorded algorithm for one experimental cell."""
+        candidates = [
+            row
+            for row in self.rows(cluster=cluster, selectivity=selectivity)
+            if row.selectivity_parents == selectivity_parents
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda row: row.elapsed_s)
+
+    def __len__(self) -> int:
+        return len(self.stats)

@@ -1,0 +1,141 @@
+"""The simulated disk.
+
+A :class:`DiskManager` owns a set of numbered files, each a list of
+:class:`~repro.storage.page.Page` objects.  Reading or writing a page
+through it charges simulated I/O latency (10 ms per page by default, the
+paper's own assumption) and bumps the shared counters.
+
+Higher layers never touch the disk directly during query execution; they
+go through a :class:`Pager` (normally the two-tier buffer system of
+:mod:`repro.buffer`), which decides *whether* a disk access happens.
+:class:`DirectPager` is the trivial pager that always hits the disk —
+useful for unit tests and for the no-cache baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol
+
+from repro.errors import StorageError
+from repro.simtime import Bucket, CostParams, CounterSet, SimClock
+from repro.storage.page import Page
+from repro.units import PAGE_SIZE
+
+
+class Pager(Protocol):
+    """What the record layer needs from a page source."""
+
+    def get_page(self, file_id: int, page_no: int) -> Page:
+        """Return the page, charging whatever traffic that implies."""
+        ...
+
+    def mark_dirty(self, file_id: int, page_no: int) -> None:
+        """Note that the page was modified and must eventually be written."""
+        ...
+
+
+class DiskManager:
+    """All files of one simulated database volume."""
+
+    def __init__(
+        self,
+        params: CostParams | None = None,
+        clock: SimClock | None = None,
+        counters: CounterSet | None = None,
+        page_size: int = PAGE_SIZE,
+    ):
+        self.params = params or CostParams()
+        self.clock = clock or SimClock()
+        self.counters = counters or CounterSet()
+        self.page_size = page_size
+        self._files: dict[int, list[Page]] = {}
+        self._next_file_id = 0
+
+    # -- file management ------------------------------------------------
+
+    def create_file(self) -> int:
+        """Allocate a new, empty file and return its id."""
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        self._files[file_id] = []
+        return file_id
+
+    def file_ids(self) -> list[int]:
+        return sorted(self._files)
+
+    def num_pages(self, file_id: int) -> int:
+        """Pages currently allocated to ``file_id``."""
+        return len(self._file(file_id))
+
+    def total_pages(self) -> int:
+        """Pages allocated across all files (disk occupancy)."""
+        return sum(len(pages) for pages in self._files.values())
+
+    def allocate_page(self, file_id: int) -> Page:
+        """Append a fresh page to ``file_id`` (no I/O is charged: new
+        pages materialize in memory and are written at flush time)."""
+        pages = self._file(file_id)
+        page = Page(file_id, len(pages), self.page_size)
+        pages.append(page)
+        return page
+
+    # -- physical I/O (charged) ------------------------------------------
+
+    def read_page(self, file_id: int, page_no: int) -> Page:
+        """Read one page from disk: charges latency, counts the read."""
+        page = self._page(file_id, page_no)
+        self.counters.disk_reads += 1
+        self.clock.charge_ms(Bucket.IO, self.params.page_read_ms)
+        return page
+
+    def write_page(self, file_id: int, page_no: int) -> None:
+        """Write one page back to disk: charges latency, counts the write."""
+        page = self._page(file_id, page_no)
+        page.dirty = False
+        self.counters.disk_writes += 1
+        self.clock.charge_ms(Bucket.IO, self.params.page_write_ms)
+
+    # -- unaccounted access (loader bookkeeping, assertions, tests) -------
+
+    def peek_page(self, file_id: int, page_no: int) -> Page:
+        """Access a page without charging I/O.  Only for code that is
+        explicitly outside the measured system (test assertions, report
+        generation)."""
+        return self._page(file_id, page_no)
+
+    def iter_pages(self, file_id: int) -> Iterator[Page]:
+        """Iterate a file's pages without charging I/O (see peek_page)."""
+        return iter(self._file(file_id))
+
+    # -- internals ---------------------------------------------------------
+
+    def _file(self, file_id: int) -> list[Page]:
+        try:
+            return self._files[file_id]
+        except KeyError:
+            raise StorageError(f"no such file: {file_id}") from None
+
+    def _page(self, file_id: int, page_no: int) -> Page:
+        pages = self._file(file_id)
+        if not 0 <= page_no < len(pages):
+            raise StorageError(
+                f"file {file_id} has {len(pages)} pages, no page {page_no}"
+            )
+        return pages[page_no]
+
+
+class DirectPager:
+    """A pager with no cache: every access is a disk read.
+
+    Used by unit tests and as the degenerate baseline configuration
+    ("what if O2 had no client cache").
+    """
+
+    def __init__(self, disk: DiskManager):
+        self.disk = disk
+
+    def get_page(self, file_id: int, page_no: int) -> Page:
+        return self.disk.read_page(file_id, page_no)
+
+    def mark_dirty(self, file_id: int, page_no: int) -> None:
+        self.disk.write_page(file_id, page_no)

@@ -1,0 +1,179 @@
+"""Heap files of records with creation-order placement.
+
+O2 places objects in files in creation order ("objects are located on
+files according to their creation time" — paper, Section 3.2), leaving
+growth slack on every page.  When an updated record no longer fits on its
+page it is *moved* to the end of the file and a forwarding entry is left
+behind — which both costs I/O and destroys clustering, the effect behind
+the paper's warning about indexing collections after loading.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import RecordNotFoundError
+from repro.simtime import Bucket
+from repro.storage.disk import DiskManager, Pager
+from repro.storage.page import Page
+from repro.storage.rid import Rid
+
+#: Fraction of a page usable by records before growth slack kicks in.
+DEFAULT_FILL_FACTOR = 0.85
+
+
+class StorageFile:
+    """A file of records, addressed by :class:`Rid`."""
+
+    def __init__(
+        self,
+        disk: DiskManager,
+        pager: Pager,
+        file_id: int | None = None,
+        fill_factor: float = DEFAULT_FILL_FACTOR,
+    ):
+        if not 0.0 < fill_factor <= 1.0:
+            raise ValueError(f"fill factor must be in (0, 1], got {fill_factor}")
+        self.disk = disk
+        self.pager = pager
+        self.file_id = disk.create_file() if file_id is None else file_id
+        self.fill_factor = fill_factor
+        self._record_count = 0
+
+    # -- sizing ----------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        return self.disk.num_pages(self.file_id)
+
+    @property
+    def record_count(self) -> int:
+        """Live records inserted minus deleted (forwarded records count
+        once, at their new location)."""
+        return self._record_count
+
+    def _slack(self, page: Page) -> int:
+        """Bytes of growth slack to preserve on ``page`` at insert time."""
+        return int(page.capacity * (1.0 - self.fill_factor))
+
+    # -- record operations -------------------------------------------------
+
+    def insert(self, record: bytes) -> Rid:
+        """Append ``record`` at the end of the file; return its rid."""
+        page = self._tail_page()
+        if page is None or not page.fits(record, self._slack(page)):
+            page = self.disk.allocate_page(self.file_id)
+        slot = page.insert(record, self._slack(page))
+        self.pager.mark_dirty(self.file_id, page.page_no)
+        self._record_count += 1
+        return Rid(self.file_id, page.page_no, slot)
+
+    def read(self, rid: Rid) -> bytes:
+        """Fetch the record at ``rid``, transparently following at most
+        one forwarding hop (each hop is a separate page access)."""
+        record, _actual = self.read_resolving(rid)
+        return record
+
+    def read_resolving(self, rid: Rid) -> tuple[bytes, Rid]:
+        """Like :meth:`read` but also returns the rid where the record
+        actually lives, so callers can repair stale references."""
+        self._check_file(rid)
+        page = self.pager.get_page(rid.file_id, rid.page_no)
+        target = page.forward_target(rid.slot)
+        if target is None:
+            return page.read(rid.slot), rid
+        fpage = self.pager.get_page(target.file_id, target.page_no)
+        if fpage.forward_target(target.slot) is not None:
+            raise RecordNotFoundError(
+                f"forwarding chain longer than one hop at {rid} -> {target}"
+            )
+        return fpage.read(target.slot), target
+
+    def update(self, rid: Rid, record: bytes) -> Rid:
+        """Replace the record at ``rid``.
+
+        If the new record still fits on its page the rid is preserved.
+        Otherwise the record moves to the end of the file, a forwarding
+        entry is left at the old slot, and the *new* rid is returned —
+        this is the "reallocate all objects on disk" cost of Section 3.2.
+        Forwarding never chains: when an already-moved record moves
+        again, the original slot is re-pointed at the new location and
+        the intermediate stub is reclaimed.
+        """
+        self._check_file(rid)
+        origin = rid
+        origin_page = self.pager.get_page(rid.file_id, rid.page_no)
+        page = origin_page
+        target = origin_page.forward_target(rid.slot)
+        if target is not None:
+            page = self.pager.get_page(target.file_id, target.page_no)
+            rid = target
+        if page.update(rid.slot, record):
+            self.pager.mark_dirty(rid.file_id, rid.page_no)
+            return rid
+        new_rid = self._move(rid, page, record)
+        if origin != rid:
+            # Collapse the chain: origin -> new location directly.
+            origin_page.repoint(origin.slot, new_rid)
+            page.delete(rid.slot)
+            self.pager.mark_dirty(origin.file_id, origin.page_no)
+        return new_rid
+
+    def delete(self, rid: Rid) -> None:
+        """Remove the record at ``rid`` (following a forwarding hop)."""
+        self._check_file(rid)
+        page = self.pager.get_page(rid.file_id, rid.page_no)
+        target = page.forward_target(rid.slot)
+        if target is not None:
+            page.delete(rid.slot)
+            self.pager.mark_dirty(rid.file_id, rid.page_no)
+            page = self.pager.get_page(target.file_id, target.page_no)
+            rid = target
+        page.delete(rid.slot)
+        self.pager.mark_dirty(rid.file_id, rid.page_no)
+        self._record_count -= 1
+
+    def scan(self) -> Iterator[tuple[Rid, bytes]]:
+        """Sequential scan in physical order, yielding ``(rid, record)``.
+
+        Forwarded slots are skipped (their record is yielded at its new
+        physical position), so each live record appears exactly once.
+        """
+        for page_no in range(self.num_pages):
+            page = self.pager.get_page(self.file_id, page_no)
+            for slot in page.slots():
+                yield Rid(self.file_id, page_no, slot), page.read(slot)
+
+    def rids(self) -> Iterator[Rid]:
+        """Sequential scan yielding rids only (still reads every page)."""
+        for rid, _record in self.scan():
+            yield rid
+
+    # -- internals ---------------------------------------------------------
+
+    def _tail_page(self) -> Page | None:
+        n = self.num_pages
+        if n == 0:
+            return None
+        return self.pager.get_page(self.file_id, n - 1)
+
+    def _move(self, rid: Rid, page: Page, record: bytes) -> Rid:
+        tail = self._tail_page()
+        if tail is None or tail.page_no == rid.page_no or not tail.fits(
+            record, self._slack(tail)
+        ):
+            tail = self.disk.allocate_page(self.file_id)
+        slot = tail.insert(record, self._slack(tail))
+        new_rid = Rid(self.file_id, tail.page_no, slot)
+        page.forward(rid.slot, new_rid)
+        self.pager.mark_dirty(rid.file_id, rid.page_no)
+        self.pager.mark_dirty(new_rid.file_id, new_rid.page_no)
+        self.disk.counters.records_moved += 1
+        self.disk.clock.charge_us(Bucket.LOAD, self.disk.params.record_move_us)
+        return new_rid
+
+    def _check_file(self, rid: Rid) -> None:
+        if rid.file_id != self.file_id:
+            raise RecordNotFoundError(
+                f"rid {rid} does not belong to file {self.file_id}"
+            )

@@ -1,0 +1,189 @@
+"""A slotted 4 KB page.
+
+Records are opaque byte strings addressed by a slot number.  The page
+keeps a slot directory so records can be deleted or moved while their
+slot number (and hence every :class:`~repro.storage.rid.Rid` pointing at
+them) stays stable.  A slot can also hold a *forwarding* entry when its
+record was reallocated elsewhere (see :meth:`Page.forward`), which is how
+the expensive post-hoc re-indexing of Section 3.2 is modeled.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageFullError, RecordNotFoundError, RecordTooLargeError
+from repro.storage.rid import Rid
+from repro.units import PAGE_SIZE
+
+#: Bytes of page bookkeeping (LSN, free-space pointer, slot count...).
+PAGE_HEADER_SIZE = 32
+
+#: Bytes of slot-directory bookkeeping per record.
+SLOT_OVERHEAD = 4
+
+#: Marker object stored in a slot whose record moved; holds the new rid.
+class _Forward:
+    __slots__ = ("target",)
+
+    def __init__(self, target: Rid) -> None:
+        self.target = target
+
+
+class Page:
+    """One slotted page of a simulated file."""
+
+    __slots__ = ("file_id", "page_no", "_slots", "_used", "capacity", "dirty")
+
+    def __init__(self, file_id: int, page_no: int, page_size: int = PAGE_SIZE):
+        if page_size <= PAGE_HEADER_SIZE:
+            raise ValueError(f"page size {page_size} too small")
+        self.file_id = file_id
+        self.page_no = page_no
+        self._slots: list[bytes | _Forward | None] = []
+        self._used = 0
+        self.capacity = page_size - PAGE_HEADER_SIZE
+        self.dirty = False
+
+    # -- space accounting ---------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes consumed by live records and their slot entries."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available for new records (incl. slot overhead)."""
+        return self.capacity - self._used
+
+    @property
+    def record_count(self) -> int:
+        """Number of live (non-deleted, non-forwarded) records."""
+        return sum(1 for s in self._slots if isinstance(s, bytes))
+
+    def fits(self, record: bytes, slack: int = 0) -> bool:
+        """Whether ``record`` fits while leaving ``slack`` bytes free."""
+        return len(record) + SLOT_OVERHEAD + slack <= self.free_bytes
+
+    # -- record operations --------------------------------------------
+
+    def insert(self, record: bytes, slack: int = 0) -> int:
+        """Store ``record`` and return its slot number.
+
+        ``slack`` reserves extra free bytes, modeling O2 "always leaving
+        some extra space to deal with growing strings or collections"
+        (paper, Section 2).
+        """
+        need = len(record) + SLOT_OVERHEAD
+        if need > self.capacity:
+            raise RecordTooLargeError(
+                f"record of {len(record)} bytes exceeds page capacity "
+                f"{self.capacity}"
+            )
+        if not self.fits(record, slack):
+            raise PageFullError(
+                f"page {self.file_id}:{self.page_no} has {self.free_bytes} "
+                f"free bytes, record needs {need} (+{slack} slack)"
+            )
+        self._slots.append(record)
+        self._used += need
+        self.dirty = True
+        return len(self._slots) - 1
+
+    def read(self, slot: int) -> bytes:
+        """Return the record at ``slot``.
+
+        Raises :class:`RecordNotFoundError` for deleted slots; raises a
+        forwarding-aware error for moved records (callers resolve moves
+        through :meth:`forward_target`).
+        """
+        entry = self._entry(slot)
+        if isinstance(entry, _Forward):
+            raise RecordNotFoundError(
+                f"slot {slot} of page {self.file_id}:{self.page_no} was "
+                f"forwarded to {entry.target}; resolve via forward_target()"
+            )
+        return entry
+
+    def update(self, slot: int, record: bytes) -> bool:
+        """Replace the record at ``slot`` in place.
+
+        Returns ``True`` on success, ``False`` when the new record does
+        not fit (the caller must then move the record to another page).
+        """
+        entry = self._entry(slot)
+        if isinstance(entry, _Forward):
+            raise RecordNotFoundError(
+                f"cannot update forwarded slot {slot} of page "
+                f"{self.file_id}:{self.page_no}"
+            )
+        delta = len(record) - len(entry)
+        if delta > self.free_bytes:
+            return False
+        self._slots[slot] = record
+        self._used += delta
+        self.dirty = True
+        return True
+
+    def delete(self, slot: int) -> None:
+        """Drop the record at ``slot``; its space becomes reusable."""
+        entry = self._entry(slot)
+        size = entry.target.DISK_SIZE if isinstance(entry, _Forward) else len(entry)
+        self._slots[slot] = None
+        self._used -= size + SLOT_OVERHEAD
+        self.dirty = True
+
+    def forward(self, slot: int, target: Rid) -> None:
+        """Replace the record at ``slot`` with a forwarding entry to
+        ``target`` (the record was reallocated on another page)."""
+        entry = self._entry(slot)
+        if isinstance(entry, _Forward):
+            raise RecordNotFoundError(
+                f"slot {slot} of page {self.file_id}:{self.page_no} is "
+                "already forwarded"
+            )
+        self._used -= len(entry) + SLOT_OVERHEAD
+        self._used += Rid.DISK_SIZE + SLOT_OVERHEAD
+        self._slots[slot] = _Forward(target)
+        self.dirty = True
+
+    def forward_target(self, slot: int) -> Rid | None:
+        """The rid a forwarded slot points at, or ``None`` if the slot
+        holds a live record."""
+        entry = self._entry(slot)
+        return entry.target if isinstance(entry, _Forward) else None
+
+    def repoint(self, slot: int, target: Rid) -> None:
+        """Re-aim an existing forwarding entry (chain collapse when a
+        moved record moves again)."""
+        entry = self._entry(slot)
+        if not isinstance(entry, _Forward):
+            raise RecordNotFoundError(
+                f"slot {slot} of page {self.file_id}:{self.page_no} is not "
+                "forwarded"
+            )
+        entry.target = target
+        self.dirty = True
+
+    def slots(self) -> list[int]:
+        """Slot numbers of live records, in slot order (creation order)."""
+        return [i for i, s in enumerate(self._slots) if isinstance(s, bytes)]
+
+    # -- internals -----------------------------------------------------
+
+    def _entry(self, slot: int) -> bytes | _Forward:
+        if not 0 <= slot < len(self._slots):
+            raise RecordNotFoundError(
+                f"no slot {slot} on page {self.file_id}:{self.page_no}"
+            )
+        entry = self._slots[slot]
+        if entry is None:
+            raise RecordNotFoundError(
+                f"slot {slot} of page {self.file_id}:{self.page_no} was deleted"
+            )
+        return entry
+
+    def __repr__(self) -> str:
+        return (
+            f"Page({self.file_id}:{self.page_no}, records={self.record_count}, "
+            f"free={self.free_bytes})"
+        )

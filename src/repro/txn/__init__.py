@@ -1,0 +1,23 @@
+"""Transactions: WAL, locks, per-transaction object budgets, and the
+transaction-off loading mode.
+
+Section 3.2 of the paper is a tour of exactly these mechanisms:
+
+* creating too many objects within one transaction raises the simulated
+  "out of memory" (commit every ~10,000 objects);
+* the *transaction-off* mode removes the log and the read/write locks,
+  "allowing to load large databases faster" — used for loading only,
+  never for measured queries.
+"""
+
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.log import WriteAheadLog
+from repro.txn.manager import Transaction, TransactionManager
+
+__all__ = [
+    "WriteAheadLog",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionManager",
+]

@@ -1,0 +1,77 @@
+"""Read/write locks.
+
+The simulator is single-threaded, so locks never *block*; what they cost
+is bookkeeping per acquisition (the overhead the transaction-off mode
+removes) and what they enforce is conflict detection between concurrently
+open transactions (a second transaction requesting an incompatible lock
+gets :class:`~repro.errors.LockConflictError` immediately).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import LockConflictError
+from repro.simtime import Bucket, CostParams, SimClock
+from repro.storage.rid import Rid
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockManager:
+    """Per-rid shared/exclusive locks."""
+
+    def __init__(self, clock: SimClock, params: CostParams):
+        self.clock = clock
+        self.params = params
+        #: rid -> (mode, set of holder txn ids)
+        self._locks: dict[Rid, tuple[LockMode, set[int]]] = {}
+
+    def acquire(self, txn_id: int, rid: Rid, mode: LockMode) -> None:
+        """Grant the lock or raise :class:`LockConflictError`."""
+        self.clock.charge_us(Bucket.LOCK, self.params.lock_us)
+        held = self._locks.get(rid)
+        if held is None:
+            self._locks[rid] = (mode, {txn_id})
+            return
+        held_mode, holders = held
+        if holders == {txn_id}:
+            # Upgrade/downgrade by the sole holder is always legal.
+            self._locks[rid] = (self._stronger(held_mode, mode), holders)
+            return
+        if mode is LockMode.SHARED and held_mode is LockMode.SHARED:
+            holders.add(txn_id)
+            return
+        raise LockConflictError(
+            f"txn {txn_id} requests {mode.value} on {rid} held "
+            f"{held_mode.value} by {sorted(holders)}"
+        )
+
+    def release_all(self, txn_id: int) -> int:
+        """Drop every lock held by ``txn_id``; returns how many."""
+        released = 0
+        for rid in list(self._locks):
+            mode, holders = self._locks[rid]
+            if txn_id in holders:
+                holders.discard(txn_id)
+                released += 1
+                self.clock.charge_us(Bucket.LOCK, self.params.lock_us)
+                if not holders:
+                    del self._locks[rid]
+        return released
+
+    def held(self, rid: Rid) -> tuple[LockMode, set[int]] | None:
+        return self._locks.get(rid)
+
+    @property
+    def lock_count(self) -> int:
+        return len(self._locks)
+
+    @staticmethod
+    def _stronger(a: LockMode, b: LockMode) -> LockMode:
+        if LockMode.EXCLUSIVE in (a, b):
+            return LockMode.EXCLUSIVE
+        return LockMode.SHARED

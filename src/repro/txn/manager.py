@@ -1,0 +1,151 @@
+"""Transaction manager.
+
+Models the two facts of O2 transaction life the paper's loading war
+stories revolve around (Section 3.2):
+
+* a transaction can only create so many objects before the client runs
+  out of memory — :class:`Transaction` raises
+  :class:`~repro.errors.TransactionMemoryError` past its budget, so
+  loaders must commit in batches (the paper settled on 10,000);
+* the *transaction-off* mode drops the log and the locks entirely, which
+  is how large databases load fastest ("we used this mode only for
+  loading, not for running our tests").
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransactionMemoryError, TransactionStateError
+from repro.objects.database import Database
+from repro.simtime import Bucket
+from repro.storage.rid import Rid
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.log import WriteAheadLog
+
+#: Objects one transaction may create before the simulated client memory
+#: is exhausted (the batch size the paper settled on).
+DEFAULT_OBJECT_BUDGET = 10_000
+
+
+class Transaction:
+    """One open transaction.  Usable as a context manager (commits on
+    clean exit, aborts on exception)."""
+
+    def __init__(self, manager: "TransactionManager", txn_id: int, logged: bool):
+        self.manager = manager
+        self.txn_id = txn_id
+        self.logged = logged
+        self.objects_created = 0
+        self.state = "active"
+
+    # -- operations --------------------------------------------------------
+
+    def create_object(
+        self,
+        class_name: str,
+        values: dict[str, object],
+        file_name: str,
+        indexed: bool = False,
+        index_ids: tuple[int, ...] = (),
+    ) -> Rid:
+        """Create an object inside this transaction, enforcing the
+        object budget and paying log + lock overhead when logged."""
+        self._require_active()
+        if self.objects_created >= self.manager.object_budget:
+            raise TransactionMemoryError(
+                f"transaction {self.txn_id} created "
+                f"{self.objects_created} objects; commit before creating "
+                "more (the paper's 'out of memory')"
+            )
+        rid = self.manager.db.create_object(
+            class_name, values, file_name, indexed, index_ids
+        )
+        self.objects_created += 1
+        if self.logged:
+            record_len = 64  # header + redo info approximation
+            self.manager.log.append(self.txn_id, "create", record_len)
+            self.manager.locks.acquire(self.txn_id, rid, LockMode.EXCLUSIVE)
+        return rid
+
+    def read_lock(self, rid: Rid) -> None:
+        self._require_active()
+        if self.logged:
+            self.manager.locks.acquire(self.txn_id, rid, LockMode.SHARED)
+
+    def write_lock(self, rid: Rid) -> None:
+        self._require_active()
+        if self.logged:
+            self.manager.locks.acquire(self.txn_id, rid, LockMode.EXCLUSIVE)
+
+    def log_update(self, nbytes: int) -> None:
+        self._require_active()
+        if self.logged:
+            self.manager.log.append(self.txn_id, "update", nbytes)
+
+    # -- completion ---------------------------------------------------------
+
+    def commit(self) -> None:
+        self._require_active()
+        if self.logged:
+            self.manager.log.append(self.txn_id, "commit", 16)
+            self.manager.log.flush()
+            self.manager.locks.release_all(self.txn_id)
+        self.manager.db.clock.charge_ms(
+            Bucket.LOG, self.manager.db.params.commit_ms
+        )
+        self.state = "committed"
+        self.manager._on_finished(self)
+
+    def abort(self) -> None:
+        self._require_active()
+        if self.logged:
+            self.manager.log.append(self.txn_id, "abort", 16)
+            self.manager.locks.release_all(self.txn_id)
+        self.state = "aborted"
+        self.manager._on_finished(self)
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state != "active":
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    def _require_active(self) -> None:
+        if self.state != "active":
+            raise TransactionStateError(
+                f"transaction {self.txn_id} is {self.state}"
+            )
+
+
+class TransactionManager:
+    """Opens transactions against one database."""
+
+    def __init__(self, db: Database, object_budget: int = DEFAULT_OBJECT_BUDGET):
+        if object_budget < 1:
+            raise ValueError("object budget must be >= 1")
+        self.db = db
+        self.object_budget = object_budget
+        self.log = WriteAheadLog(db.clock, db.params)
+        self.locks = LockManager(db.clock, db.params)
+        self._next_txn_id = 1
+        self._active: dict[int, Transaction] = {}
+
+    def begin(self, logged: bool = True) -> Transaction:
+        """Open a transaction.  ``logged=False`` is the transaction-off
+        loading mode: no log, no locks, no commit flush — but the object
+        budget still applies (it models client memory, not the log)."""
+        txn = Transaction(self, self._next_txn_id, logged)
+        self._next_txn_id += 1
+        self._active[txn.txn_id] = txn
+        return txn
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def _on_finished(self, txn: Transaction) -> None:
+        self._active.pop(txn.txn_id, None)

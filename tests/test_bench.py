@@ -1,0 +1,186 @@
+"""Tests for the benchmark harness: runner, tables, figure builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ExperimentRunner, Table
+from repro.bench.figures import (
+    PAPER_ALGORITHMS,
+    extensions_figure,
+    figure4_rids_vs_handles,
+    figure6,
+    figure7,
+    figure9,
+    figure10,
+    figure15,
+    handle_modes_figure,
+    join_figure,
+)
+from repro.bench.workloads import SELECTIVITY_GRID, tree_query_text
+from repro.cluster import load_derby
+from repro.derby import DerbyConfig
+from repro.derby.config import Clustering
+from repro.errors import BenchError
+from repro.simtime import CostParams
+from repro.stats import StatsDatabase
+
+
+@pytest.fixture(scope="module")
+def derby():
+    cfg = DerbyConfig(
+        n_providers=30,
+        n_patients=900,
+        clustering=Clustering.CLASS,
+        scale=0.002,
+        params=CostParams().scaled(0.002),
+    )
+    return load_derby(cfg)
+
+
+@pytest.fixture()
+def runner(derby):
+    return ExperimentRunner(derby)
+
+
+class TestTable:
+    def test_render(self):
+        table = Table("T", ["a", "bee"])
+        table.add(1, 2.5)
+        table.note("a note")
+        text = table.render()
+        assert "T" in text
+        assert "a note" in text
+        assert "2.50" in text
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["a"])
+        with pytest.raises(ValueError):
+            table.add(1, 2)
+
+
+class TestRunner:
+    def test_run_join_measures(self, runner):
+        m = runner.run_join("PHJ", 10, 10)
+        assert m.algo == "PHJ"
+        assert m.elapsed_s > 0
+        assert m.rows > 0
+        assert m.meters.disk_reads > 0
+        assert "io" in m.breakdown
+
+    def test_cold_runs_are_reproducible(self, runner):
+        a = runner.run_join("NOJOIN", 10, 90)
+        b = runner.run_join("NOJOIN", 10, 90)
+        assert a.elapsed_s == pytest.approx(b.elapsed_s)
+        assert a.meters.disk_reads == b.meters.disk_reads
+
+    def test_unknown_algorithm(self, runner):
+        with pytest.raises(BenchError):
+            runner.run_join("ZIGZAG", 10, 10)
+
+    def test_unknown_selection_method(self, runner):
+        with pytest.raises(BenchError):
+            runner.run_selection("hash", 10)
+
+    def test_selection_measures(self, runner):
+        m = runner.run_selection("sorted-index", 30)
+        assert m.rows == pytest.approx(270, abs=30)
+        assert m.page_reads > 0
+
+    def test_stats_recorded(self, derby):
+        stats = StatsDatabase()
+        runner = ExperimentRunner(derby, stats)
+        runner.run_join("PHJ", 10, 10)
+        runner.run_selection("scan", 10)
+        rows = stats.rows()
+        assert len(rows) == 2
+        assert {r.algo for r in rows} == {"PHJ", "select/scan"}
+
+    def test_grid_runs_all(self, runner):
+        ms = runner.run_join_grid(("PHJ", "CHJ"), ((10, 10), (90, 90)))
+        assert len(ms) == 4
+
+
+class TestWorkloads:
+    def test_tree_query_text(self, derby):
+        text = tree_query_text(derby.config, 10, 90)
+        assert "pa.mrn <" in text and "p.upin <" in text
+
+    def test_grid_is_the_papers(self):
+        assert SELECTIVITY_GRID == ((10, 10), (10, 90), (90, 10), (90, 90))
+
+
+class TestFigures:
+    def test_figure6_shape(self, runner):
+        table = figure6(runner)
+        assert len(table.rows) == 7
+        # No-index page count is selectivity-independent.
+        no_index_pages = {row[3] for row in table.rows}
+        assert len(no_index_pages) == 1
+        # Unclustered index reads more pages than the scan at 90%.
+        last = table.rows[-1]
+        assert last[1] > last[3]
+
+    def test_figure7_shape(self, runner):
+        table = figure7(runner)
+        assert len(table.rows) == 4
+        # Sorted index scan strictly beats no-index at low selectivity.
+        assert table.rows[0][1] < table.rows[0][2]
+
+    def test_figure9_decomposition_sums_to_total(self, runner):
+        table = figure9(runner)
+        *components, total = table.rows
+        for col in (1, 2):
+            assert sum(row[col] for row in components) == pytest.approx(
+                total[col], rel=0.01
+            )
+        handles = next(r for r in table.rows if "Handle" in r[0])
+        # Even at 90% the standard scan pays more handle traffic...
+        assert handles[1] > handles[2]
+        # ...and at 10% selectivity the gap is large (the paper's point:
+        # handles for the whole collection vs only selected elements).
+        low_sel = figure9(runner, selectivity_pct=10)
+        handles10 = next(r for r in low_sel.rows if "Handle" in r[0])
+        assert handles10[1] > 5 * handles10[2]
+
+    def test_figure10_matches_paper_exactly(self):
+        table = figure10()
+        sizes = [row[5] for row in table.rows]
+        paper = [0.0128, 0.1152, 6.4, 57.6, 1.72, 14.52, 62.4, 81.6]
+        for ours, theirs in zip(sizes, paper):
+            assert ours == pytest.approx(theirs, rel=0.001)
+
+    def test_join_figure_ranks_each_cell(self, runner):
+        table, measurements = join_figure(
+            runner, "test", algorithms=("PHJ", "NOJOIN"), grid=((10, 10),)
+        )
+        assert len(table.rows) == 2
+        assert table.rows[0][3] == pytest.approx(1.0)  # best ratio is 1
+        assert table.rows[1][4] >= table.rows[0][4]
+        assert len(measurements) == 2
+
+    def test_figure15_picks_winners(self, runner):
+        __, ms = join_figure(
+            runner, "t", algorithms=PAPER_ALGORITHMS, grid=((10, 10),)
+        )
+        table = figure15({"1:1000": {"class": ms}})
+        row = table.rows[0]
+        assert row[5] in PAPER_ALGORITHMS      # class winner
+        assert row[3] == "-"                   # random org not provided
+
+    def test_figure4_rids_cheaper_than_handles_when_memory_tight(self, runner):
+        table = figure4_rids_vs_handles(runner, selectivity_pct=90)
+        handles_row, rids_row = table.rows
+        assert handles_row[0] == "Handles"
+        assert handles_row[2] > rids_row[2]  # bigger table
+
+    def test_handle_modes_ablation(self, runner):
+        table = handle_modes_figure(runner, selectivity_pct=60)
+        by_mode = {row[0]: row[1] for row in table.rows}
+        # Full handles are the most expensive regime for the scan.
+        assert by_mode["full"] >= max(v for k, v in by_mode.items() if k != "full")
+
+    def test_extensions_figure_includes_smj_and_hybrid(self, runner):
+        table, __ = extensions_figure(runner)
+        algos = {row[2] for row in table.rows}
+        assert {"SMJ", "PHJ-HYBRID"} <= algos

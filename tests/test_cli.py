@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_choices(self):
+        args = build_parser().parse_args(["figures", "fig10"])
+        assert args.figure == "fig10"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "fig99"])
+
+    def test_db_options(self):
+        args = build_parser().parse_args(
+            ["load", "--db", "1to3", "--clustering", "composition",
+             "--scale", "0.001"]
+        )
+        assert args.db == "1to3"
+        assert args.clustering == "composition"
+        assert args.scale == 0.001
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "page read          : 10.0 ms" in out
+        assert "query memory" in out
+
+    def test_figures_fig10(self, capsys):
+        assert main(["figures", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "57.60" in out
+
+    def test_load(self, capsys):
+        assert main(
+            ["load", "--db", "1to3", "--scale", "0.0005"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "load time" in out
+        assert "500 providers" in out
+
+    def test_figures_fig07_small_scale(self, capsys):
+        assert main(["figures", "fig07", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+
+    def test_shell_quits(self, capsys, monkeypatch):
+        inputs = iter([
+            "select count(p) from p in Patients where p.mrn < 100",
+            "select bogus syntax here",
+            "quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(inputs))
+        assert main(["shell", "--scale", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "-- plan:" in out
+        assert "error:" in out
+
+    def test_shell_eof(self, capsys, monkeypatch):
+        def raise_eof(prompt=""):
+            raise EOFError
+
+        monkeypatch.setattr("builtins.input", raise_eof)
+        assert main(["shell", "--scale", "0.001"]) == 0
+
+    def test_layout(self, capsys):
+        assert main(
+            ["layout", "--scale", "0.001", "--clustering", "composition",
+             "--records", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Physical organization: composition" in out
+        assert "@" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--db", "1to3", "--scale", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "cost model fitted" in out
+        assert "optimizer: picked the measured winner" in out

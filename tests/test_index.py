@@ -1,0 +1,288 @@
+"""Unit tests for the B+-tree index and the index manager."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateIndexError, IndexError_
+from repro.index import BTreeIndex, IndexManager
+from repro.objects import AttrKind, AttributeDef, Database, Schema
+from repro.objects.header import ObjectHeader
+from repro.storage.rid import Rid
+
+
+def simple_schema() -> Schema:
+    schema = Schema()
+    schema.define(
+        "Patient",
+        [
+            AttributeDef("name", AttrKind.STRING),
+            AttributeDef("mrn", AttrKind.INT32),
+            AttributeDef("num", AttrKind.INT32),
+        ],
+    )
+    return schema
+
+
+def make_db() -> Database:
+    db = Database(simple_schema())
+    db.create_file("patients")
+    return db
+
+
+def make_index(db: Database, name: str = "idx", key_type: type = int) -> BTreeIndex:
+    index_file = db.create_file(f"__file_{name}__")
+    return BTreeIndex(name, 1, index_file, key_type)
+
+
+# ------------------------------------------------------------- BTreeIndex
+
+class TestBTreeBulk:
+    def test_bulk_build_and_lookup(self):
+        db = make_db()
+        index = make_index(db)
+        pairs = [(i, Rid(0, i // 10, i % 10)) for i in range(1000)]
+        index.bulk_build(pairs)
+        assert index.entry_count == 1000
+        assert index.lookup(500) == [Rid(0, 50, 0)]
+        assert index.lookup(5000) == []
+
+    def test_duplicate_keys(self):
+        db = make_db()
+        index = make_index(db)
+        index.bulk_build([(7, Rid(0, 0, 0)), (7, Rid(0, 0, 1)), (8, Rid(0, 0, 2))])
+        assert index.lookup(7) == [Rid(0, 0, 0), Rid(0, 0, 1)]
+
+    def test_range_scan_in_key_order(self):
+        db = make_db()
+        index = make_index(db)
+        shuffled = list(range(500))
+        random.Random(3).shuffle(shuffled)
+        index.bulk_build([(k, Rid(0, k, 0)) for k in shuffled])
+        keys = [e.key for e in index.range_scan(100, 199)]
+        assert keys == list(range(100, 200))
+
+    def test_range_scan_exclusive_bounds(self):
+        db = make_db()
+        index = make_index(db)
+        index.bulk_build([(k, Rid(0, k, 0)) for k in range(10)])
+        keys = [
+            e.key
+            for e in index.range_scan(2, 5, include_low=False, include_high=False)
+        ]
+        assert keys == [3, 4]
+
+    def test_open_ended_scans(self):
+        db = make_db()
+        index = make_index(db)
+        index.bulk_build([(k, Rid(0, k, 0)) for k in range(100)])
+        assert len(list(index.range_scan(None, 9))) == 10
+        assert len(list(index.range_scan(90, None))) == 10
+        assert len(list(index.range_scan())) == 100
+
+    def test_leaf_reads_charge_io(self):
+        db = make_db()
+        index = make_index(db)
+        index.bulk_build([(k, Rid(0, k, 0)) for k in range(2000)])
+        db.restart_cold()
+        db.reset_meters()
+        list(index.range_scan())
+        assert db.counters.disk_reads >= index.leaf_count // 2
+
+    def test_string_keys(self):
+        db = make_db()
+        index = make_index(db, "byname", str)
+        index.bulk_build([("bob", Rid(0, 0, 0)), ("alice", Rid(0, 0, 1))])
+        assert index.lookup("alice") == [Rid(0, 0, 1)]
+        assert [e.key for e in index.range_scan()] == ["alice", "bob"]
+
+    def test_bad_key_type_rejected(self):
+        db = make_db()
+        with pytest.raises(IndexError_):
+            make_index(db, "byfloat", float)
+
+    def test_index_id_zero_rejected(self):
+        db = make_db()
+        index_file = db.create_file("__f__")
+        with pytest.raises(IndexError_):
+            BTreeIndex("x", 0, index_file)
+
+    def test_clustering_ratio_sequential_vs_random(self):
+        db = make_db()
+        clustered = make_index(db, "cl")
+        clustered.bulk_build([(k, Rid(0, k, 0)) for k in range(1000)])
+        assert clustered.clustering_ratio == pytest.approx(1.0)
+
+        rng = random.Random(11)
+        positions = list(range(1000))
+        rng.shuffle(positions)
+        unclustered = make_index(db, "uncl")
+        unclustered.bulk_build([(k, Rid(0, positions[k], 0)) for k in range(1000)])
+        assert unclustered.clustering_ratio == pytest.approx(0.5, abs=0.1)
+
+    def test_selectivity_estimate(self):
+        db = make_db()
+        index = make_index(db)
+        index.bulk_build([(k, Rid(0, k, 0)) for k in range(10000)])
+        assert index.selectivity(None, 999) == pytest.approx(0.1, abs=0.05)
+        assert index.selectivity(None, None) == 1.0
+        assert index.selectivity(20000, None) <= 0.05
+
+
+class TestBTreeIncremental:
+    def test_insert_then_lookup(self):
+        db = make_db()
+        index = make_index(db)
+        for k in [5, 1, 9, 3, 7]:
+            index.insert(k, Rid(0, k, 0))
+        assert [e.key for e in index.range_scan()] == [1, 3, 5, 7, 9]
+
+    def test_insert_below_current_minimum(self):
+        db = make_db()
+        index = make_index(db)
+        index.bulk_build([(k, Rid(0, k, 0)) for k in range(10, 20)])
+        index.insert(1, Rid(0, 1, 0))
+        assert [e.key for e in index.range_scan()][0] == 1
+
+    def test_splits_keep_order(self):
+        db = make_db()
+        index = make_index(db)
+        keys = list(range(1000))
+        random.Random(5).shuffle(keys)
+        for k in keys:
+            index.insert(k, Rid(0, k, 0))
+        assert [e.key for e in index.range_scan()] == list(range(1000))
+        assert index.leaf_count > 1
+
+    def test_remove(self):
+        db = make_db()
+        index = make_index(db)
+        index.bulk_build([(k, Rid(0, k, 0)) for k in range(10)])
+        assert index.remove(5, Rid(0, 5, 0))
+        assert not index.remove(5, Rid(0, 5, 0))
+        assert index.lookup(5) == []
+        assert index.entry_count == 9
+
+    @given(st.lists(st.integers(min_value=0, max_value=300), max_size=150))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_sorted_reference(self, keys):
+        db = make_db()
+        index = make_index(db)
+        reference = []
+        for i, k in enumerate(keys):
+            rid = Rid(0, i, 0)
+            index.insert(k, rid)
+            reference.append((k, rid))
+        reference.sort()
+        scanned = [(e.key, e.rid) for e in index.range_scan()]
+        assert scanned == reference
+
+
+# ------------------------------------------------------------- IndexManager
+
+def populate(db: Database, n: int = 300, indexed: bool = False):
+    coll = db.new_collection("Patients")
+    rng = random.Random(1)
+    for i in range(n):
+        rid = db.create_object(
+            "Patient",
+            {"name": f"p{i}", "mrn": i, "num": rng.randrange(n)},
+            "patients",
+            indexed=indexed,
+        )
+        coll.append(rid)
+    coll.flush()
+    return coll
+
+
+class TestIndexManager:
+    def test_create_index_after_population(self):
+        db = make_db()
+        coll = populate(db)
+        manager = IndexManager(db)
+        index, report = manager.create_index("by_mrn", coll, "mrn")
+        assert report.entries == 300
+        assert report.headers_rewritten == 300
+        assert report.headers_grown == 300  # objects had no slots
+        assert index.lookup(42) != []
+        assert coll.indexed
+
+    def test_first_index_on_unindexed_objects_moves_records(self):
+        """Paper §3.2: indexing after load reallocates objects on disk."""
+        db = make_db()
+        coll = populate(db, indexed=False)
+        manager = IndexManager(db)
+        __, report = manager.create_index("by_mrn", coll, "mrn")
+        assert report.records_moved > 0
+
+    def test_preallocated_slots_avoid_moves(self):
+        db = make_db()
+        coll = populate(db, indexed=True)
+        manager = IndexManager(db)
+        __, report = manager.create_index("by_mrn", coll, "mrn")
+        assert report.headers_grown == 0
+        assert report.records_moved == 0
+
+    def test_duplicate_index_name_rejected(self):
+        db = make_db()
+        coll = populate(db)
+        manager = IndexManager(db)
+        manager.create_index("by_mrn", coll, "mrn")
+        with pytest.raises(DuplicateIndexError):
+            manager.create_index("by_mrn", coll, "mrn")
+
+    def test_headers_record_membership(self):
+        db = make_db()
+        coll = populate(db, n=50)
+        manager = IndexManager(db)
+        index, __ = manager.create_index("by_mrn", coll, "mrn")
+        some_rid = next(iter(coll.iter_rids()))
+        record, __cls = db.manager.read_record(some_rid)
+        header = ObjectHeader.decode(record)
+        assert index.index_id in header.index_ids
+
+    def test_second_index_reuses_slots(self):
+        db = make_db()
+        coll = populate(db, n=100)
+        manager = IndexManager(db)
+        manager.create_index("by_mrn", coll, "mrn")
+        moved_before = db.counters.records_moved
+        __, report = manager.create_index("by_num", coll, "num")
+        assert report.headers_grown == 0
+        assert db.counters.records_moved == moved_before
+
+    def test_incremental_maintenance(self):
+        db = make_db()
+        coll = populate(db, n=20)
+        manager = IndexManager(db)
+        index, __ = manager.create_index("by_mrn", coll, "mrn")
+        rid = db.create_object(
+            "Patient",
+            {"name": "new", "mrn": 999, "num": 1},
+            "patients",
+            index_ids=(index.index_id,),
+        )
+        coll.append(rid)
+        manager.on_member_added("by_mrn", rid, 999)
+        assert index.lookup(999) == [rid]
+        manager.on_key_updated("by_mrn", rid, 999, 1000)
+        assert index.lookup(999) == []
+        assert index.lookup(1000) == [rid]
+        manager.on_member_removed("by_mrn", rid, 1000)
+        assert index.lookup(1000) == []
+
+    def test_moved_records_are_indexed_at_new_rid(self):
+        db = make_db()
+        coll = populate(db, n=200, indexed=False)
+        manager = IndexManager(db)
+        index, report = manager.create_index("by_mrn", coll, "mrn")
+        assert report.records_moved > 0
+        # Every indexed rid must resolve to a record with the right key.
+        for entry in index.range_scan():
+            record, class_def = db.manager.read_record(entry.rid)
+            codec = db.manager.codec(class_def)
+            assert codec.decode_attr(record, "mrn") == entry.key

@@ -1,0 +1,64 @@
+"""Tests for the Figure 2 layout inspector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import load_derby
+from repro.cluster.inspect import describe_derby_layout, describe_layout
+from repro.derby import DerbyConfig
+from repro.derby.config import Clustering
+from repro.simtime import CostParams
+
+
+def tiny(clustering) -> DerbyConfig:
+    return DerbyConfig(
+        n_providers=5,
+        n_patients=50,
+        clustering=clustering,
+        scale=0.001,
+        params=CostParams().scaled(0.001),
+    )
+
+
+class TestDescribeLayout:
+    def test_class_layout_separates_files(self):
+        derby = load_derby(tiny(Clustering.CLASS))
+        text = describe_derby_layout(derby)
+        assert "Physical organization: class" in text
+        assert "providers file:" in text
+        assert "patients file:" in text
+        # Providers come with their clients sets rendered.
+        assert "clients={" in text or "clients=<" in text
+
+    def test_composition_layout_interleaves(self):
+        derby = load_derby(tiny(Clustering.COMPOSITION))
+        text = describe_derby_layout(derby, max_records=12)
+        assert "objects file:" in text
+        lines = [line for line in text.splitlines() if line.startswith("  @")]
+        kinds = ["Provider" if "Provider" in line else "Patient" for line in lines]
+        # A provider first, then its patients follow on the same file.
+        assert kinds[0] == "Provider"
+        assert "Patient" in kinds[1:]
+
+    def test_patient_shows_back_reference(self):
+        derby = load_derby(tiny(Clustering.CLASS))
+        text = describe_derby_layout(derby, max_records=60)
+        assert "primary_care_provider->@" in text
+
+    def test_inspection_is_unaccounted(self):
+        derby = load_derby(tiny(Clustering.CLASS))
+        derby.start_cold_run()
+        describe_derby_layout(derby)
+        assert derby.db.clock.elapsed_s == 0.0
+        assert derby.db.counters.disk_reads == 0
+
+    def test_truncation_note(self):
+        derby = load_derby(tiny(Clustering.CLASS))
+        text = describe_layout(derby.db, ["patients"], max_records=3)
+        assert "... 47 more" in text
+
+    def test_unknown_file_raises(self):
+        derby = load_derby(tiny(Clustering.CLASS))
+        with pytest.raises(Exception):
+            describe_layout(derby.db, ["ghost"])

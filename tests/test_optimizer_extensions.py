@@ -1,0 +1,61 @@
+"""Tests for the extensions-aware optimizer: what would O2's optimizer
+recommend if it *had* hybrid hashing and sort-merge joins?"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import tree_query_text
+from repro.cluster import load_derby
+from repro.derby import DerbyConfig
+from repro.derby.config import Clustering
+from repro.oql import Catalog, OQLEngine
+
+
+@pytest.fixture(scope="module")
+def derby_1to3():
+    # Full default scale so hash tables genuinely outgrow memory.
+    return load_derby(DerbyConfig.db_1to3(scale=0.01))
+
+
+class TestExtensionsAwareOptimizer:
+    def test_extended_plans_are_costed(self, derby_1to3):
+        engine = OQLEngine(Catalog.from_derby(derby_1to3), include_extensions=True)
+        plan = engine.plan(tree_query_text(derby_1to3.config, 10, 10))
+        assert {"PHJ-HYBRID", "SMJ"} <= set(plan.alternatives)
+
+    def test_default_engine_hides_extensions(self, derby_1to3):
+        engine = OQLEngine(Catalog.from_derby(derby_1to3))
+        plan = engine.plan(tree_query_text(derby_1to3.config, 10, 10))
+        assert "PHJ-HYBRID" not in plan.alternatives
+
+    def test_memory_bound_cell_prefers_memory_aware_plan(self, derby_1to3):
+        """At 90/90 on 1:3 the plain hash joins thrash; with extensions
+        available the optimizer must pick a plan that does not."""
+        engine = OQLEngine(Catalog.from_derby(derby_1to3), include_extensions=True)
+        plan = engine.plan(tree_query_text(derby_1to3.config, 90, 90))
+        assert plan.algorithm in ("PHJ-HYBRID", "SMJ", "NOJOIN", "NL")
+        alternatives = plan.alternatives
+        assert alternatives[plan.algorithm].seconds < alternatives["PHJ"].seconds
+
+    def test_memory_light_cell_keeps_the_classic_choice(self, derby_1to3):
+        """Where memory is plentiful the extensions change nothing: the
+        hybrid estimate collapses onto plain PHJ."""
+        engine = OQLEngine(Catalog.from_derby(derby_1to3), include_extensions=True)
+        plan = engine.plan(tree_query_text(derby_1to3.config, 10, 10))
+        est = plan.alternatives
+        assert est["PHJ-HYBRID"].seconds == pytest.approx(
+            est["PHJ"].seconds, rel=0.05
+        )
+
+    def test_extended_plans_execute(self, derby_1to3):
+        engine = OQLEngine(Catalog.from_derby(derby_1to3), include_extensions=True)
+        text = tree_query_text(derby_1to3.config, 90, 90)
+        plan = engine.plan(text)
+        derby_1to3.start_cold_run()
+        rows = engine.execute(text)
+        assert len(rows) > 0
+        # Cross-check against a classic plan's answer.
+        classic = OQLEngine(Catalog.from_derby(derby_1to3))
+        derby_1to3.start_cold_run()
+        assert sorted(rows) == sorted(classic.execute(text))

@@ -1,0 +1,78 @@
+"""Tests for the OQL unparser, including parse/print round trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oql import parse
+from repro.oql.printer import print_query
+
+ROUND_TRIP_QUERIES = [
+    "select p.age from p in Patients",
+    "select distinct p.age from p in Patients where p.num > 5",
+    "select tuple(n: p.name, a: pa.age) from p in Providers, "
+    "pa in p.clients where pa.mrn < 100 and p.upin < 10",
+    "select count(*) from p in Patients",
+    "select count(p) from p in Patients where p.mrn < 7",
+    "select sum(p.age) from p in Patients where p.num >= 3",
+    "select p.age from p in Patients where p.mrn < 10 order by p.age desc",
+    "select p.age from p in Patients order by p.age, p.mrn desc",
+    "select p.name from p in Providers "
+    "where exists pa in p.clients : pa.age > 90",
+    "select p.a from p in C where (p.x < 1 or p.y > 2) and p.z = 3",
+    "select p.a from p in C where not p.x < 1",
+    "select p.name from p in C where p.name = 'Tintin'",
+    "select [p.name, p.age] from p in Patients",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", ROUND_TRIP_QUERIES)
+    def test_parse_print_parse_fixpoint(self, text):
+        once = parse(text)
+        printed = print_query(once)
+        again = parse(printed)
+        assert once == again, f"round trip changed the AST:\n{printed}"
+
+    @pytest.mark.parametrize("text", ROUND_TRIP_QUERIES)
+    def test_print_is_stable(self, text):
+        printed = print_query(parse(text))
+        assert print_query(parse(printed)) == printed
+
+
+# A tiny random query generator: enough variety to shake precedence bugs.
+_vars = st.sampled_from(["p", "q"])
+_attrs = st.sampled_from(["a", "b", "c"])
+_ops = st.sampled_from(["<", "<=", ">", ">=", "=", "!="])
+
+
+@st.composite
+def comparisons(draw):
+    var = draw(_vars)
+    attr = draw(_attrs)
+    op = draw(_ops)
+    value = draw(st.integers(min_value=-99, max_value=99))
+    return f"{var}.{attr} {op} {value}"
+
+
+@st.composite
+def where_clauses(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        return draw(comparisons())
+    left = draw(where_clauses(depth=depth - 1))
+    right = draw(where_clauses(depth=depth - 1))
+    combinator = draw(st.sampled_from(["and", "or"]))
+    if draw(st.booleans()):
+        return f"({left}) {combinator} ({right})"
+    return f"not ({left})"
+
+
+class TestRandomRoundTrip:
+    @given(where=where_clauses())
+    @settings(max_examples=100)
+    def test_property_roundtrip(self, where):
+        text = f"select p.a from p in C where {where}"
+        once = parse(text)
+        assert parse(print_query(once)) == once

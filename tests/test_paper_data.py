@@ -1,0 +1,92 @@
+"""Unit tests for the paper-agreement scoring machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.paper_data import (
+    PAPER_FIG11,
+    PAPER_FIG12,
+    PAPER_FIG14,
+    PAPER_FIG15_WINNERS,
+    PAPER_FIGURES,
+    score_against_paper,
+)
+from repro.bench.runner import JoinMeasurement
+from repro.bench.workloads import SELECTIVITY_GRID
+from repro.simtime import MeterSnapshot
+
+
+def fake_measurements(cells: dict) -> list[JoinMeasurement]:
+    out = []
+    for (sp, sv), algos in cells.items():
+        for algo, seconds in algos.items():
+            out.append(
+                JoinMeasurement(
+                    algo=algo,
+                    clustering="class",
+                    sel_patients=sp,
+                    sel_providers=sv,
+                    elapsed_s=seconds,
+                    rows=1,
+                    meters=MeterSnapshot(),
+                    breakdown={},
+                )
+            )
+    return out
+
+
+class TestPaperData:
+    def test_tables_cover_the_grid(self):
+        for name, figure in PAPER_FIGURES.items():
+            assert set(figure) == set(SELECTIVITY_GRID), name
+            for cell in figure.values():
+                assert set(cell) == {"NL", "NOJOIN", "PHJ", "CHJ"}
+
+    def test_figure12_90_90_order_is_the_papers(self):
+        cell = PAPER_FIG12[(90, 90)]
+        assert sorted(cell, key=cell.get) == ["NOJOIN", "NL", "PHJ", "CHJ"]
+
+    def test_figure14_navigation_wins(self):
+        for cell, algos in PAPER_FIG14.items():
+            assert min(algos, key=algos.get) in ("NL", "NOJOIN"), cell
+
+    def test_figure15_covers_24_cells(self):
+        count = sum(
+            len(by_org)
+            for cells in PAPER_FIG15_WINNERS.values()
+            for by_org in cells.values()
+        )
+        assert count == 24
+
+
+class TestScoring:
+    def test_perfect_reproduction_scores_perfectly(self):
+        """Feeding the paper's own numbers (scaled by any constant) must
+        score 4/4 winners, rho 1.0, zero ratio error."""
+        scaled = {
+            cell: {a: t / 100 for a, t in algos.items()}
+            for cell, algos in PAPER_FIG11.items()
+        }
+        table, score = score_against_paper("fig11", fake_measurements(scaled))
+        assert score.winners_matched == 4
+        assert score.mean_spearman == pytest.approx(1.0)
+        assert score.mean_log_ratio_error == pytest.approx(0.0, abs=1e-9)
+        assert len(table.rows) == 16
+
+    def test_inverted_ranking_scores_negatively(self):
+        inverted = {
+            cell: {a: 1.0 / t for a, t in algos.items()}
+            for cell, algos in PAPER_FIG11.items()
+        }
+        __, score = score_against_paper("fig11", fake_measurements(inverted))
+        assert score.winners_matched == 0
+        assert score.mean_spearman < 0
+
+    def test_missing_algorithm_rejected(self):
+        partial = {
+            cell: {a: t for a, t in algos.items() if a != "NL"}
+            for cell, algos in PAPER_FIG11.items()
+        }
+        with pytest.raises(ValueError):
+            score_against_paper("fig11", fake_measurements(partial))

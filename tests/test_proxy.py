@@ -1,0 +1,94 @@
+"""Tests for the object-proxy façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import load_derby
+from repro.derby import DerbyConfig, generate
+from repro.derby.config import Clustering
+from repro.errors import ObjectError, SchemaError
+from repro.objects.proxy import proxies
+from repro.simtime import CostParams
+
+
+@pytest.fixture(scope="module")
+def derby():
+    cfg = DerbyConfig(
+        n_providers=10,
+        n_patients=100,
+        clustering=Clustering.CLASS,
+        scale=0.001,
+        params=CostParams().scaled(0.001),
+    )
+    return load_derby(cfg)
+
+
+@pytest.fixture(scope="module")
+def logical(derby):
+    return generate(derby.config)
+
+
+class TestObjectProxy:
+    def test_scalar_attributes(self, derby, logical):
+        with proxies(derby.db).fetch(derby.patient_rids[0]) as patient:
+            assert patient.mrn == 1
+            assert patient.name == logical.patients[0].name
+            assert patient.class_name == "Patient"
+
+    def test_reference_auto_deref(self, derby, logical):
+        with proxies(derby.db).fetch(derby.patient_rids[0]) as patient:
+            doctor = patient.primary_care_provider
+            assert doctor.class_name == "Provider"
+            assert doctor.upin == logical.patients[0].random_integer
+            doctor.release()
+
+    def test_set_iteration(self, derby, logical):
+        with proxies(derby.db).fetch(derby.provider_rids[0]) as doctor:
+            clients = doctor.clients
+            assert len(clients) == len(logical.providers[0].patient_idxs)
+            mrns = sorted(pa.mrn for pa in clients)
+        expected = sorted(
+            logical.patients[j].mrn for j in logical.providers[0].patient_idxs
+        )
+        assert mrns == expected
+
+    def test_release_is_enforced(self, derby):
+        proxy = proxies(derby.db).fetch(derby.patient_rids[0])
+        proxy.release()
+        with pytest.raises(ObjectError):
+            __ = proxy.mrn
+        proxy.release()  # idempotent
+
+    def test_context_manager_releases_handle(self, derby):
+        live_before = derby.db.handles.live_count
+        with proxies(derby.db).fetch(derby.patient_rids[1]) as patient:
+            __ = patient.age
+            assert derby.db.handles.live_count == live_before + 1
+        assert derby.db.handles.live_count == live_before
+
+    def test_read_only(self, derby):
+        with proxies(derby.db).fetch(derby.patient_rids[0]) as patient:
+            with pytest.raises(ObjectError):
+                patient.age = 99
+
+    def test_unknown_attribute(self, derby):
+        with proxies(derby.db).fetch(derby.patient_rids[0]) as patient:
+            with pytest.raises(SchemaError):
+                __ = patient.salary
+
+    def test_access_is_charged(self, derby):
+        derby.start_cold_run()
+        with proxies(derby.db).fetch(derby.patient_rids[5]) as patient:
+            __ = patient.name
+        assert derby.db.clock.elapsed_s > 0
+
+    def test_nested_navigation_chain(self, derby):
+        """patient -> doctor -> first client -> doctor again."""
+        with proxies(derby.db).fetch(derby.patient_rids[0]) as patient:
+            doctor = patient.primary_care_provider
+            first_client = next(iter(doctor.clients.rids()))
+            via = proxies(derby.db).fetch(first_client)
+            assert via.primary_care_provider.rid == doctor.rid
+            via.release()
+            doctor.release()

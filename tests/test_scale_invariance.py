@@ -1,0 +1,67 @@
+"""Scale invariance — the methodological claim everything rests on.
+
+DESIGN.md §5 argues that because object counts and memory budgets scale
+together, within-figure *ratios* are scale-free.  These tests run the
+same experiments at two scales and check that the ratios (and winners)
+agree — the license for reproducing the paper's figures at 1/100.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ExperimentRunner
+from repro.cluster import load_derby
+from repro.derby import DerbyConfig
+from repro.derby.config import Clustering
+
+
+def runner_at(scale: float, clustering=Clustering.CLASS) -> ExperimentRunner:
+    return ExperimentRunner(
+        load_derby(DerbyConfig.db_1to3(scale=scale, clustering=clustering))
+    )
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("algo", ["PHJ", "NOJOIN", "NL"])
+    def test_elapsed_time_scales_linearly(self, algo):
+        small = runner_at(0.002).run_join(algo, 30, 30)
+        large = runner_at(0.004).run_join(algo, 30, 30)
+        # Twice the database => about twice the simulated time.
+        assert large.elapsed_s / small.elapsed_s == pytest.approx(2.0, rel=0.3)
+
+    def test_algorithm_ratios_stable_across_scales(self):
+        def ratios(scale: float) -> dict[str, float]:
+            runner = runner_at(scale)
+            times = {
+                algo: runner.run_join(algo, 10, 90).elapsed_s
+                for algo in ("PHJ", "CHJ", "NOJOIN", "NL")
+            }
+            best = min(times.values())
+            return {algo: t / best for algo, t in times.items()}
+
+        small, large = ratios(0.002), ratios(0.004)
+        for algo in small:
+            assert small[algo] == pytest.approx(large[algo], rel=0.4), algo
+        # Same winner at both scales.
+        assert min(small, key=small.get) == min(large, key=large.get)
+
+    def test_winner_stable_in_composition_too(self):
+        def winner(scale: float) -> str:
+            runner = runner_at(scale, Clustering.COMPOSITION)
+            times = {
+                algo: runner.run_join(algo, 10, 10).elapsed_s
+                for algo in ("PHJ", "NOJOIN", "NL")
+            }
+            return min(times, key=times.get)
+
+        assert winner(0.002) == winner(0.004) == "NL"
+
+    def test_miss_rates_scale_free(self):
+        """Client-cache miss rates depend only on ratios, so they must
+        be nearly identical across scales."""
+        small = runner_at(0.002).run_join("NOJOIN", 90, 10)
+        large = runner_at(0.004).run_join("NOJOIN", 90, 10)
+        assert small.meters.client_miss_rate == pytest.approx(
+            large.meters.client_miss_rate, abs=0.08
+        )
