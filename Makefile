@@ -1,6 +1,8 @@
-.PHONY: install test bench figures clean
+.PHONY: install test bench figures mix shell artifacts clean
 
 PYTHON ?= python
+# Run the package from the source tree; `make install` is optional.
+export PYTHONPATH := src
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,8 +17,15 @@ bench:
 figures:
 	$(PYTHON) -m repro figures all
 
+# Multi-client workload mix through the query service.
+mix:
+	$(PYTHON) -m repro mix --clients 8
+
 shell:
 	$(PYTHON) -m repro shell
+
+serve:
+	$(PYTHON) -m repro serve
 
 artifacts: ## the final run the reproduction ships with
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -17,6 +17,8 @@ tiers, producing the *cold* state in which all the paper's queries run
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.buffer.cache import BufferCache
 from repro.buffer.replacement import LRUPolicy, ReplacementPolicy
 from repro.simtime import Bucket, MemoryModel
@@ -25,7 +27,16 @@ from repro.storage.page import Page
 
 
 class ClientServerSystem:
-    """Two LRU tiers between the application and the simulated disk."""
+    """Two LRU tiers between the application and the simulated disk.
+
+    The *server* tier (cache + disk) is one per system; the *client*
+    tier is swappable — the multi-client query service
+    (:mod:`repro.service`) gives every session its own client cache and
+    attaches the active session's tier before each scheduling slice
+    (:meth:`attach_client_tier`), so all sessions contend for the same
+    server cache while keeping private client caches, exactly the
+    paper's one-server/many-workstations topology.
+    """
 
     def __init__(
         self,
@@ -46,6 +57,30 @@ class ClientServerSystem:
             client_policy or LRUPolicy(),
             on_evict_dirty=self._write_back_to_server,
         )
+        #: Invoked on every client page fault, *before* the RPC is
+        #: issued — the query service uses it as a context-switch point.
+        self.on_fault: Callable[[], None] | None = None
+
+    # -- client-tier management -------------------------------------------
+
+    def new_client_tier(
+        self,
+        capacity_pages: int | None = None,
+        policy: ReplacementPolicy | None = None,
+    ) -> BufferCache:
+        """A fresh client cache wired for write-back to this server."""
+        return BufferCache(
+            capacity_pages or self.memory.client_cache_pages,
+            policy or LRUPolicy(),
+            on_evict_dirty=self._write_back_to_server,
+        )
+
+    def attach_client_tier(self, cache: BufferCache) -> BufferCache:
+        """Make ``cache`` the active client tier; returns the previous
+        one (still valid — re-attach it to resume that client)."""
+        previous = self.client_cache
+        self.client_cache = cache
+        return previous
 
     # -- Pager protocol ---------------------------------------------------
 
@@ -58,6 +93,8 @@ class ClientServerSystem:
             counters.client_hits += 1
             return page
 
+        if self.on_fault is not None:
+            self.on_fault()
         counters.client_faults += 1
         counters.rpcs += 1
         counters.rpc_bytes += self.disk.page_size

@@ -11,6 +11,13 @@ Commands
 ``shell``
     An interactive OQL shell over a freshly loaded Derby database:
     shows the optimizer's plan and the simulated meters for every query.
+``serve``
+    A multi-session shell over one shared server: open several client
+    sessions, take locks, and watch conflicts happen (fail-fast mode).
+``mix``
+    Run a deterministic multi-client workload mix (navigators +
+    scanners + updaters) through the query service and print
+    per-session latency/throughput plus the aggregate.
 ``info``
     Print the cost model and memory budgets in use.
 """
@@ -172,6 +179,153 @@ def cmd_shell(args: argparse.Namespace) -> int:
               f"{meters.client_miss_rate:.0%}\n")
 
 
+# ------------------------------------------------------------------ serve
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Multi-session shell: several clients against one shared server."""
+    from repro.service import QueryService
+
+    config = _make_config(args)
+    print(f"loading {config.n_providers} providers / "
+          f"{config.n_patients} patients "
+          f"({config.clustering.value} clustering) ...")
+    derby = load_derby(config)
+    service = QueryService(derby)
+    current = service.open_session("main")
+    print("Multi-session shell — one server cache, one lock table, a")
+    print("private client cache per session.  Commands:")
+    print(r"  \open NAME | \use NAME | \sessions")
+    print(r"  \begin | \commit | \abort")
+    print(r"  \lock r|w patients|providers INDEX")
+    print(r"  any other line runs as OQL in the current session")
+    print(r"  \quit to exit" + "\n")
+    by_name = {current.name: current}
+    while True:
+        try:
+            line = input(f"{current.name}> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not line:
+            continue
+        words = line.split()
+        try:
+            if words[0] in (r"\quit", "quit", "exit"):
+                return 0
+            if words[0] == r"\open":
+                session = service.open_session(words[1])
+                by_name[session.name] = session
+                current = session
+                continue
+            if words[0] == r"\use":
+                current = by_name[words[1]]
+                continue
+            if words[0] == r"\sessions":
+                for name, session in by_name.items():
+                    m = session.metrics
+                    txn = session.txn
+                    state = txn.state if txn is not None else "none"
+                    print(f"  {name:10s} txn={state:9s} "
+                          f"queries={m.queries} updates={m.updates} "
+                          f"committed={m.committed} aborted={m.aborted} "
+                          f"busy={m.busy_s:.3f}s")
+                continue
+            if words[0] == r"\begin":
+                with service.immediate(current):
+                    current.begin()
+                continue
+            if words[0] == r"\commit":
+                with service.immediate(current):
+                    current.commit()
+                continue
+            if words[0] == r"\abort":
+                with service.immediate(current):
+                    current.abort()
+                continue
+            if words[0] == r"\lock":
+                mode, coll, idx = words[1], words[2], int(words[3])
+                if mode not in ("r", "w"):
+                    print(f"error: lock mode must be r or w, not {mode!r}")
+                    continue
+                rids = (derby.patient_rids if coll.startswith("pat")
+                        else derby.provider_rids)
+                if not 0 <= idx < len(rids):
+                    print(f"error: {coll} index must be in "
+                          f"0..{len(rids) - 1}, not {idx}")
+                    continue
+                with service.immediate(current):
+                    if current.txn is None or current.txn.state != "active":
+                        current.begin()
+                    if mode == "w":
+                        current.write_lock(rids[idx])
+                    else:
+                        current.read_lock(rids[idx])
+                print(f"  {mode}-lock on {coll}[{idx}] granted")
+                continue
+            # -- OQL ----------------------------------------------------
+            before_s = derby.db.clock.elapsed_s
+            before_m = derby.db.counters.snapshot()
+            with service.immediate(current):
+                rows = current.execute(line)
+            spent_s = derby.db.clock.elapsed_s - before_s
+            delta = derby.db.counters.snapshot() - before_m
+            for row in rows[:10]:
+                print(f"   {row}")
+            if len(rows) > 10:
+                print(f"   ... {len(rows) - 10} more rows")
+            print(f"-- {len(rows)} row(s); {spent_s:.3f} simulated s; "
+                  f"{delta.disk_reads} page reads; {delta.rpcs} RPCs\n")
+        except (ReproError, KeyError, IndexError, ValueError) as exc:
+            print(f"error: {exc}")
+
+
+# ------------------------------------------------------------------ mix
+
+def cmd_mix(args: argparse.Namespace) -> int:
+    """Run a multi-client mix and report per-session + aggregate costs."""
+    from repro.service import MixConfig, WorkloadMixer
+    from repro.stats import StatsDatabase, mix_to_csv, to_csv
+
+    try:
+        if args.navigators or args.scanners or args.updaters:
+            mix_config = MixConfig(
+                navigators=args.navigators,
+                scanners=args.scanners,
+                updaters=args.updaters,
+            )
+        else:
+            mix_config = MixConfig.from_clients(args.clients)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from dataclasses import replace as _replace
+    mix_config = _replace(
+        mix_config,
+        ops_per_client=args.ops,
+        seed=args.seed,
+        lock_timeout_s=args.lock_timeout,
+    )
+    config = _make_config(args)
+    print(f"loading {config.n_providers} providers / "
+          f"{config.n_patients} patients "
+          f"({config.clustering.value} clustering) ...", file=sys.stderr)
+    derby = load_derby(config)
+    stats = StatsDatabase()
+    mixer = WorkloadMixer(derby, mix_config, stats=stats)
+    report = mixer.run()
+    print(report.table())
+    print(f"stats database: {len(stats)} Stat row(s) recorded")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(to_csv(stats.rows()))
+        print(f"wrote {args.csv}")
+    if args.sessions_csv:
+        with open(args.sessions_csv, "w") as fh:
+            fh.write(mix_to_csv(report))
+        print(f"wrote {args.sessions_csv}")
+    return 0
+
+
 # ------------------------------------------------------------------ layout
 
 def cmd_layout(args: argparse.Namespace) -> int:
@@ -274,6 +428,35 @@ def build_parser() -> argparse.ArgumentParser:
     shell = sub.add_parser("shell", help="interactive OQL shell")
     _add_db_options(shell)
     shell.set_defaults(func=cmd_shell)
+
+    serve = sub.add_parser(
+        "serve", help="multi-session shell over one shared server"
+    )
+    _add_db_options(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    mix = sub.add_parser(
+        "mix", help="run a deterministic multi-client workload mix"
+    )
+    _add_db_options(mix)
+    mix.add_argument("--clients", type=int, default=4,
+                     help="client count, dealt round-robin over "
+                     "navigator/scanner/updater profiles")
+    mix.add_argument("--navigators", type=int, default=0)
+    mix.add_argument("--scanners", type=int, default=0)
+    mix.add_argument("--updaters", type=int, default=0)
+    mix.add_argument("--ops", type=int, default=4,
+                     help="operations (transactions) per client")
+    mix.add_argument("--seed", type=int, default=1)
+    mix.add_argument("--lock-timeout", type=float, default=None,
+                     help="lock wait bound in simulated seconds "
+                     "(default: none, deadlock detection only)")
+    mix.add_argument("--csv", default=None,
+                     help="also export the Stat rows as CSV to this path")
+    mix.add_argument("--sessions-csv", default=None,
+                     help="also export per-session metrics as CSV "
+                     "to this path")
+    mix.set_defaults(func=cmd_mix)
 
     layout = sub.add_parser(
         "layout", help="print the Figure 2 view of a database's files"

@@ -81,7 +81,26 @@ class TransactionStateError(TransactionError):
 
 
 class LockConflictError(TransactionError):
-    """A lock request conflicts with a lock held by another transaction."""
+    """A lock request conflicts with a lock held by another transaction.
+
+    Raised immediately in *fail-fast* mode (no scheduler attached to the
+    :class:`~repro.txn.locks.LockManager`); the subclasses below are the
+    two ways a *waiting* request can end without a grant."""
+
+
+class LockTimeoutError(LockConflictError):
+    """A waiting lock request exceeded the configured lock timeout
+    (simulated seconds) and the transaction must abort."""
+
+
+class DeadlockError(LockConflictError):
+    """The waits-for graph contains a cycle and this transaction was
+    chosen as the victim (the youngest transaction in the cycle)."""
+
+
+class ServiceError(ReproError):
+    """Multi-client query-service failures (bad session, stalled
+    scheduler, misconfigured workload mix)."""
 
 
 class QueryError(ReproError):

@@ -1,0 +1,296 @@
+"""The multi-client query service: one server, many sessions.
+
+A :class:`QueryService` owns the *server* side of the paper's topology —
+the shared disk, the shared server cache, one write-ahead log and one
+lock manager — and any number of :class:`Session` objects, each modeling
+one client workstation: a private client cache, a private handle table,
+its own transactions and its own OQL entry point.
+
+Concurrency is cooperative and deterministic
+(:class:`~repro.service.scheduler.CooperativeScheduler`): session bodies
+run interleaved at client page faults, lock waits and explicit
+``pause()`` calls.  On every context switch the service attaches the
+incoming session's client tier and handle table to the shared
+:class:`~repro.buffer.ClientServerSystem` / object manager, and accrues
+the outgoing session's share of the global clock and counters — so
+per-session latency, throughput and cache traffic fall out of the same
+single-timeline cost model the single-client benchmarks use.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.buffer import BufferCache, LRUPolicy
+from repro.errors import ServiceError
+from repro.objects.handle import HandleTable
+from repro.oql import Catalog, OQLEngine
+from repro.service.scheduler import CooperativeScheduler, Task
+from repro.simtime import MeterSnapshot
+from repro.storage.rid import Rid
+from repro.txn import Transaction, TransactionManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.loader import DerbyDatabase
+
+
+def _add_meters(a: MeterSnapshot, b: MeterSnapshot) -> MeterSnapshot:
+    return MeterSnapshot(
+        **{f.name: getattr(a, f.name) + getattr(b, f.name) for f in fields(a)}
+    )
+
+
+@dataclass
+class SessionMetrics:
+    """What one session did and what it cost."""
+
+    committed: int = 0
+    aborted: int = 0
+    deadlocks: int = 0
+    timeouts: int = 0
+    queries: int = 0
+    updates: int = 0
+    rows: int = 0
+    #: Simulated seconds charged while this session held the baton.
+    busy_s: float = 0.0
+    #: Simulated seconds spent suspended on lock waits.
+    lock_wait_s: float = 0.0
+    #: Per-committed-operation response times (submit -> commit, on the
+    #: shared timeline, so they include time consumed by other sessions).
+    latencies_s: list[float] = field(default_factory=list)
+    meters: MeterSnapshot = field(default_factory=MeterSnapshot)
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return sum(self.latencies_s) / len(self.latencies_s)
+
+    @property
+    def max_latency_s(self) -> float:
+        return max(self.latencies_s, default=0.0)
+
+
+class Session:
+    """One client connection to the query service."""
+
+    def __init__(
+        self,
+        service: "QueryService",
+        session_id: int,
+        name: str,
+        client_cache_pages: int | None = None,
+    ):
+        self.service = service
+        self.session_id = session_id
+        self.name = name
+        db = service.db
+        self.cache: BufferCache = db.system.new_client_tier(
+            client_cache_pages or service.client_cache_pages
+        )
+        self.handles = HandleTable(
+            db.clock, db.params, db.counters, db.handles.mode
+        )
+        self.engine = OQLEngine(service.catalog)
+        self.txn: Transaction | None = None
+        self.metrics = SessionMetrics()
+        self.task: Task | None = None
+
+    # -- transactions -------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        if self.txn is not None and self.txn.state == "active":
+            raise ServiceError(
+                f"session {self.name!r} already has an open transaction"
+            )
+        self.txn = self.service.txm.begin(logged=True)
+        return self.txn
+
+    def commit(self) -> None:
+        self._require_txn().commit()
+        self.metrics.committed += 1
+
+    def abort(self) -> None:
+        self._require_txn().abort()
+        self.metrics.aborted += 1
+
+    def _require_txn(self) -> Transaction:
+        if self.txn is None or self.txn.state != "active":
+            raise ServiceError(f"session {self.name!r} has no open transaction")
+        return self.txn
+
+    # -- operations ---------------------------------------------------------
+
+    def execute(self, oql: str) -> list:
+        """Run an OQL query through this session's engine (and caches)."""
+        rows = self.engine.execute(oql)
+        self.metrics.queries += 1
+        self.metrics.rows += len(rows)
+        return rows
+
+    def read_lock(self, rid: Rid) -> None:
+        self._require_txn().read_lock(rid)
+
+    def write_lock(self, rid: Rid) -> None:
+        self._require_txn().write_lock(rid)
+
+    def update_scalar(self, rid: Rid, attr: str, value: object) -> Rid:
+        """Write-lock, update and log one scalar attribute."""
+        txn = self._require_txn()
+        txn.write_lock(rid)
+        new_rid = self.service.db.manager.update_scalar(rid, attr, value)
+        txn.log_update(8)
+        self.metrics.updates += 1
+        return new_rid
+
+    def get_attr(self, rid: Rid, attr: str) -> object:
+        """Load an object (through this session's handle table) and read
+        one attribute, paying the usual handle traffic."""
+        om = self.service.db.manager
+        handle = om.load(rid)
+        value = om.get_attr(handle, attr)
+        om.unref(handle)
+        return value
+
+    def pause(self) -> None:
+        """Voluntarily yield to the other sessions ("think time")."""
+        self.service.scheduler.yield_point()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Session {self.name}>"
+
+
+class QueryService:
+    """Shared server tier + session registry + cooperative scheduler."""
+
+    def __init__(
+        self,
+        derby: "DerbyDatabase",
+        lock_timeout_s: float | None = None,
+        server_cache_pages: int | None = None,
+        client_cache_pages: int | None = None,
+    ):
+        self.derby = derby
+        self.db = derby.db
+        self.catalog = Catalog.from_derby(derby)
+        self.txm = TransactionManager(self.db)
+        self.txm.locks.timeout_s = lock_timeout_s
+        self.scheduler = CooperativeScheduler(
+            self.db.clock, self.txm.locks, on_switch=self._on_switch
+        )
+        self.client_cache_pages = client_cache_pages
+        self.sessions: list[Session] = []
+        self._task_session: dict[int, Session] = {}
+        self._active: Session | None = None
+        self._last_s = 0.0
+        self._last_meters = self.db.counters.snapshot()
+        self._base_client_cache = self.db.system.client_cache
+        self._base_handles = self.db.handles
+        self._base_server_cache: BufferCache | None = None
+        if server_cache_pages is not None:
+            self._base_server_cache = self.db.system.server_cache
+            self.db.system.server_cache = BufferCache(
+                server_cache_pages,
+                LRUPolicy(),
+                on_evict_dirty=self.db.system._write_back_to_disk,
+            )
+
+    # -- sessions -----------------------------------------------------------
+
+    def open_session(
+        self, name: str | None = None, client_cache_pages: int | None = None
+    ) -> Session:
+        session = Session(
+            self,
+            len(self.sessions),
+            name or f"s{len(self.sessions)}",
+            client_cache_pages,
+        )
+        self.sessions.append(session)
+        return session
+
+    def spawn(self, session: Session, fn: Callable[[], object]) -> Task:
+        """Register ``fn`` as ``session``'s body for the next :meth:`run`."""
+        task = self.scheduler.spawn(session.name, fn)
+        session.task = task
+        self._task_session[task.task_id] = session
+        return task
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self) -> list[Task]:
+        """Interleave every spawned session body to completion."""
+        system = self.db.system
+        system.on_fault = self.scheduler.yield_point
+        self._last_s = self.db.clock.elapsed_s
+        self._last_meters = self.db.counters.snapshot()
+        try:
+            tasks = self.scheduler.run()
+        finally:
+            system.on_fault = None
+            self._accrue()
+            self._activate(None)
+        for session in self.sessions:
+            if session.task is not None:
+                session.metrics.lock_wait_s = session.task.lock_wait_s
+        return tasks
+
+    @contextmanager
+    def immediate(self, session: Session) -> Iterator[Session]:
+        """Run ``session`` operations *without* the scheduler (the
+        ``serve`` shell's mode): the session's client tier and handle
+        table are attached for the duration and its share of the clock
+        and counters is accrued on exit.  Lock conflicts are fail-fast
+        here — with no scheduler there is nobody to wait for."""
+        self._accrue()
+        self._activate(session)
+        try:
+            yield session
+        finally:
+            self._accrue()
+            self._activate(None)
+
+    def close(self) -> None:
+        """Flush every session's client tier and restore the database's
+        original single-client configuration."""
+        system = self.db.system
+        for session in self.sessions:
+            system.attach_client_tier(session.cache)
+            for page in session.cache.dirty_pages():
+                system._write_back_to_server(page)
+        system.attach_client_tier(self._base_client_cache)
+        self.db.handles = self._base_handles
+        self.db.manager.handles = self._base_handles
+        if self._base_server_cache is not None:
+            for page in system.server_cache.dirty_pages():
+                system._write_back_to_disk(page)
+            system.server_cache = self._base_server_cache
+
+    # -- switch accounting --------------------------------------------------
+
+    def _on_switch(self, task: Task) -> None:
+        self._accrue()
+        self._activate(self._task_session.get(task.task_id))
+
+    def _accrue(self) -> None:
+        now_s = self.db.clock.elapsed_s
+        meters = self.db.counters.snapshot()
+        if self._active is not None:
+            m = self._active.metrics
+            m.busy_s += now_s - self._last_s
+            m.meters = _add_meters(m.meters, meters - self._last_meters)
+        self._last_s = now_s
+        self._last_meters = meters
+
+    def _activate(self, session: Session | None) -> None:
+        self._active = session
+        if session is not None:
+            self.db.system.attach_client_tier(session.cache)
+            self.db.handles = session.handles
+            self.db.manager.handles = session.handles
+        else:
+            self.db.system.attach_client_tier(self._base_client_cache)
+            self.db.handles = self._base_handles
+            self.db.manager.handles = self._base_handles

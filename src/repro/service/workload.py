@@ -1,0 +1,343 @@
+"""Parameterized multi-client workload mixes over a Derby database.
+
+The paper ran every query as a single cold client; OCB and the dynamic
+object-benchmark line of work argue that multi-user mixes are where
+client/server systems earn (or lose) their keep.  A
+:class:`WorkloadMixer` replays exactly that scenario deterministically:
+
+* **navigators** pick a provider and walk its ``clients`` set — the
+  pointer-chasing workload (shared locks, scattered page reads);
+* **scanners** run an OQL selection over ``Patients`` — the associative
+  workload (big sequential reads that fight everyone else for the
+  shared server cache);
+* **updaters** write-lock pairs of *hot-set* patients and update them —
+  the workload that creates lock waits, timeouts and deadlocks.
+
+All randomness is drawn from per-session ``random.Random`` instances
+seeded from ``MixConfig.seed``, and the scheduler interleaves
+deterministically, so a given mix on a given database always produces
+the same commits, aborts, deadlocks and simulated times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from random import Random
+from typing import TYPE_CHECKING
+
+from repro.bench.report import Table
+from repro.errors import (
+    DeadlockError,
+    LockConflictError,
+    LockTimeoutError,
+    ServiceError,
+)
+from repro.service.service import QueryService, Session, SessionMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.loader import DerbyDatabase
+    from repro.stats.store import StatsDatabase
+
+#: Profile names, in the order ``MixConfig.from_clients`` deals them.
+PROFILES = ("navigator", "scanner", "updater")
+
+
+@dataclass(frozen=True)
+class MixConfig:
+    """Shape of one multi-client mix."""
+
+    navigators: int = 1
+    scanners: int = 1
+    updaters: int = 1
+    #: Operations (transactions) each client attempts.
+    ops_per_client: int = 4
+    seed: int = 1
+    #: Lock wait bound in simulated seconds (``None``: no timeout,
+    #: deadlock detection only).
+    lock_timeout_s: float | None = None
+    #: Retries after a deadlock/timeout abort before giving up on an op.
+    max_retries: int = 2
+    #: Children a navigator visits per provider.
+    navigator_fanout: int = 8
+    #: Selectivity (percent) of the scanner's OQL selection.
+    scan_selectivity_pct: float = 10.0
+    #: Shared locks a scanner takes on hot-set patients per op.
+    scanner_lock_samples: int = 2
+    #: Updaters (and scanner samples) draw from the first ``hot_set``
+    #: patients — small enough that write/write conflicts actually occur.
+    hot_set: int = 16
+    #: Overrides for the shared server tier / per-session client tiers.
+    server_cache_pages: int | None = None
+    client_cache_pages: int | None = None
+
+    @property
+    def total_clients(self) -> int:
+        return self.navigators + self.scanners + self.updaters
+
+    @classmethod
+    def from_clients(cls, n_clients: int, **overrides: object) -> "MixConfig":
+        """Deal ``n_clients`` round-robin over navigator/scanner/updater."""
+        if n_clients < 1:
+            raise ServiceError("a mix needs at least one client")
+        counts = {p: 0 for p in PROFILES}
+        for i in range(n_clients):
+            counts[PROFILES[i % len(PROFILES)]] += 1
+        return replace(
+            cls(
+                navigators=counts["navigator"],
+                scanners=counts["scanner"],
+                updaters=counts["updater"],
+            ),
+            **overrides,  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class SessionReport:
+    """One session's outcome, flattened for tables and stats rows."""
+
+    name: str
+    profile: str
+    metrics: SessionMetrics
+
+    @property
+    def throughput_ops_s(self) -> float:
+        total = self.metrics.busy_s + self.metrics.lock_wait_s
+        if total <= 0:
+            return 0.0
+        return self.metrics.committed / total
+
+
+@dataclass
+class MixReport:
+    """Aggregate outcome of one mix run."""
+
+    config: MixConfig
+    sessions: list[SessionReport]
+    #: Simulated seconds for the whole mix (the shared timeline).
+    elapsed_s: float
+    context_switches: int
+
+    @property
+    def committed(self) -> int:
+        return sum(s.metrics.committed for s in self.sessions)
+
+    @property
+    def aborted(self) -> int:
+        return sum(s.metrics.aborted for s in self.sessions)
+
+    @property
+    def deadlocks(self) -> int:
+        return sum(s.metrics.deadlocks for s in self.sessions)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(s.metrics.timeouts for s in self.sessions)
+
+    @property
+    def throughput_ops_s(self) -> float:
+        """Committed transactions per simulated second, all sessions."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.committed / self.elapsed_s
+
+    def table(self) -> Table:
+        table = Table(
+            f"Mix: {self.config.navigators} navigator(s) + "
+            f"{self.config.scanners} scanner(s) + "
+            f"{self.config.updaters} updater(s), "
+            f"{self.config.ops_per_client} ops each",
+            ["Session", "Profile", "Committed", "Aborted", "Deadlocks",
+             "Timeouts", "Busy (s)", "Wait (s)", "Mean lat (s)",
+             "Ops/s"],
+        )
+        for s in self.sessions:
+            m = s.metrics
+            table.add(
+                s.name, s.profile, m.committed, m.aborted, m.deadlocks,
+                m.timeouts, m.busy_s, m.lock_wait_s, m.mean_latency_s,
+                s.throughput_ops_s,
+            )
+        table.note(
+            f"aggregate: {self.committed} committed, {self.aborted} "
+            f"aborted in {self.elapsed_s:.2f} simulated s -> "
+            f"{self.throughput_ops_s:.3f} txn/s; "
+            f"{self.context_switches} context switches"
+        )
+        return table
+
+
+class WorkloadMixer:
+    """Builds a :class:`QueryService`, spawns the mix, runs it."""
+
+    def __init__(
+        self,
+        derby: "DerbyDatabase",
+        config: MixConfig,
+        stats: "StatsDatabase | None" = None,
+    ):
+        self.derby = derby
+        self.config = config
+        self.stats = stats
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self, cold: bool = True) -> MixReport:
+        config = self.config
+        if config.total_clients < 1:
+            raise ServiceError("a mix needs at least one client")
+        if cold:
+            self.derby.start_cold_run()
+        service = QueryService(
+            self.derby,
+            lock_timeout_s=config.lock_timeout_s,
+            server_cache_pages=config.server_cache_pages,
+            client_cache_pages=config.client_cache_pages,
+        )
+        reports: list[SessionReport] = []
+        start_s = self.derby.db.clock.elapsed_s
+        spawned = 0
+        for profile, count in (
+            ("navigator", config.navigators),
+            ("scanner", config.scanners),
+            ("updater", config.updaters),
+        ):
+            for i in range(count):
+                session = service.open_session(f"{profile}{i}")
+                rng = Random(config.seed * 10_007 + spawned)
+                service.spawn(
+                    session, self._session_body(session, profile, rng)
+                )
+                reports.append(SessionReport(session.name, profile,
+                                             session.metrics))
+                spawned += 1
+        tasks = service.run()
+        service.close()
+        for task in tasks:
+            if task.error is not None:
+                raise task.error
+        report = MixReport(
+            config=config,
+            sessions=reports,
+            elapsed_s=self.derby.db.clock.elapsed_s - start_s,
+            context_switches=service.scheduler.context_switches,
+        )
+        if self.stats is not None:
+            self._record(report)
+        return report
+
+    # -- session bodies ------------------------------------------------------
+
+    def _session_body(self, session: Session, profile: str, rng: Random):
+        op = {
+            "navigator": self._navigator_op,
+            "scanner": self._scanner_op,
+            "updater": self._updater_op,
+        }[profile]
+        clock = self.derby.db.clock
+        config = self.config
+
+        def body() -> None:
+            for __ in range(config.ops_per_client):
+                started_s = clock.elapsed_s
+                for attempt in range(config.max_retries + 1):
+                    try:
+                        op(session, rng)
+                    except LockConflictError as exc:
+                        if session.txn is not None and \
+                                session.txn.state == "active":
+                            session.abort()
+                        if isinstance(exc, DeadlockError):
+                            session.metrics.deadlocks += 1
+                        elif isinstance(exc, LockTimeoutError):
+                            session.metrics.timeouts += 1
+                        session.pause()  # let the conflict drain
+                    else:
+                        session.metrics.latencies_s.append(
+                            clock.elapsed_s - started_s
+                        )
+                        break
+                session.pause()  # think time between operations
+
+        return body
+
+    def _navigator_op(self, session: Session, rng: Random) -> None:
+        derby = self.derby
+        provider_rid = derby.provider_rids[
+            rng.randrange(len(derby.provider_rids))
+        ]
+        session.begin()
+        session.read_lock(provider_rid)
+        clients = session.get_attr(provider_rid, "clients")
+        child_rids = []
+        for rid in derby.db.iter_set_rids(clients):
+            child_rids.append(rid)
+            if len(child_rids) >= self.config.navigator_fanout:
+                break
+        for rid in child_rids:
+            session.read_lock(rid)
+            session.get_attr(rid, "age")
+        session.metrics.queries += 1
+        session.commit()
+
+    def _scanner_op(self, session: Session, rng: Random) -> None:
+        derby = self.derby
+        hot = min(self.config.hot_set, len(derby.patient_rids))
+        threshold = derby.config.num_threshold(self.config.scan_selectivity_pct)
+        session.begin()
+        for __ in range(self.config.scanner_lock_samples):
+            session.read_lock(derby.patient_rids[rng.randrange(hot)])
+        session.execute(
+            f"select p.age from p in Patients where p.num > {threshold}"
+        )
+        session.commit()
+
+    def _updater_op(self, session: Session, rng: Random) -> None:
+        derby = self.derby
+        hot = min(self.config.hot_set, len(derby.patient_rids))
+        if hot < 2:
+            raise ServiceError("updater needs at least two hot patients")
+        first, second = rng.sample(range(hot), 2)
+        rid_a = derby.patient_rids[first]
+        rid_b = derby.patient_rids[second]
+        session.begin()
+        session.write_lock(rid_a)
+        session.pause()  # the window in which opposite-order pairs deadlock
+        session.write_lock(rid_b)
+        for rid in (rid_a, rid_b):
+            age = session.get_attr(rid, "age")
+            session.update_scalar(rid, "age", (int(age) % 90) + 1)
+        session.commit()
+
+    # -- stats recording -----------------------------------------------------
+
+    def _record(self, report: MixReport) -> None:
+        assert self.stats is not None
+        memory = self.derby.config.params.memory
+        page = memory.page_size
+        server_bytes = (
+            self.config.server_cache_pages * page
+            if self.config.server_cache_pages is not None
+            else memory.server_cache_bytes
+        )
+        client_bytes = (
+            self.config.client_cache_pages * page
+            if self.config.client_cache_pages is not None
+            else memory.client_cache_bytes
+        )
+        for s in report.sessions:
+            self.stats.record_experiment(
+                algo=f"mix-{s.profile}",
+                cluster=self.derby.config.clustering.value,
+                elapsed_s=s.metrics.busy_s + s.metrics.lock_wait_s,
+                meters=s.metrics.meters,
+                text=(
+                    f"{s.profile} x{self.config.ops_per_client} in "
+                    f"{self.config.total_clients}-client mix "
+                    f"(seed {self.config.seed})"
+                ),
+                selectivity=round(self.config.scan_selectivity_pct),
+                cold=True,
+                server_cache_bytes=server_bytes,
+                client_cache_bytes=client_bytes,
+            )

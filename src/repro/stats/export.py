@@ -44,6 +44,61 @@ def to_csv(rows: Iterable[StatRow]) -> str:
     return out.getvalue()
 
 
+_MIX_COLUMNS = (
+    "session",
+    "profile",
+    "committed",
+    "aborted",
+    "deadlocks",
+    "timeouts",
+    "queries",
+    "updates",
+    "busy_s",
+    "lock_wait_s",
+    "mean_latency_s",
+    "max_latency_s",
+    "throughput_ops_s",
+    "client_faults",
+    "server_hits",
+    "disk_reads",
+)
+
+
+def mix_to_csv(report) -> str:
+    """Render a :class:`repro.service.MixReport`'s per-session metrics
+    as CSV (duck-typed so this module never imports ``repro.service``,
+    which imports us)."""
+    out = io.StringIO()
+    out.write(",".join(_MIX_COLUMNS) + "\n")
+    for sr in report.sessions:
+        m = sr.metrics
+        values = (
+            sr.name,
+            sr.profile,
+            m.committed,
+            m.aborted,
+            m.deadlocks,
+            m.timeouts,
+            m.queries,
+            m.updates,
+            m.busy_s,
+            m.lock_wait_s,
+            m.mean_latency_s,
+            m.max_latency_s,
+            sr.throughput_ops_s,
+            m.meters.client_faults,
+            m.meters.server_hits,
+            m.meters.disk_reads,
+        )
+        out.write(
+            ",".join(
+                f"{v:.4f}" if isinstance(v, float) else str(v) for v in values
+            )
+            + "\n"
+        )
+    return out.getvalue()
+
+
 def to_gnuplot(
     rows: Sequence[StatRow],
     x: str = "selectivity",

@@ -133,6 +133,8 @@ class TransactionManager:
         self.locks = LockManager(db.clock, db.params)
         self._next_txn_id = 1
         self._active: dict[int, Transaction] = {}
+        self.committed = 0
+        self.aborted = 0
 
     def begin(self, logged: bool = True) -> Transaction:
         """Open a transaction.  ``logged=False`` is the transaction-off
@@ -149,3 +151,7 @@ class TransactionManager:
 
     def _on_finished(self, txn: Transaction) -> None:
         self._active.pop(txn.txn_id, None)
+        if txn.state == "committed":
+            self.committed += 1
+        else:
+            self.aborted += 1

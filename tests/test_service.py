@@ -1,0 +1,352 @@
+"""Tests for the multi-client query service: cooperative scheduling,
+the lock wait/deadlock protocol, sessions and workload mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import load_derby
+from repro.derby import DerbyConfig
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.service import (
+    CooperativeScheduler,
+    MixConfig,
+    QueryService,
+    WorkloadMixer,
+)
+from repro.simtime import Bucket, CostParams, SimClock
+from repro.storage.rid import Rid
+from repro.txn import LockManager, LockMode
+
+A, B, C = Rid(0, 0, 0), Rid(0, 0, 1), Rid(0, 0, 2)
+
+
+def make_lock_world(timeout_s: float | None = None):
+    clock = SimClock()
+    locks = LockManager(clock, CostParams(), timeout_s=timeout_s)
+    scheduler = CooperativeScheduler(clock, locks)
+    return clock, locks, scheduler
+
+
+@pytest.fixture(scope="module")
+def tiny_derby():
+    """The smallest 1:3 database — enough for real mixes, loads fast."""
+    return load_derby(DerbyConfig.db_1to3(scale=0.00001))
+
+
+def fresh_tiny_derby():
+    return load_derby(DerbyConfig.db_1to3(scale=0.00001))
+
+
+# ---------------------------------------------------------------- scheduler
+
+
+class TestScheduler:
+    def test_round_robin_interleaving_is_deterministic(self):
+        def trace_run():
+            clock, __, scheduler = make_lock_world()
+            trace = []
+
+            def body(name):
+                def fn():
+                    for i in range(3):
+                        trace.append(f"{name}{i}")
+                        scheduler.yield_point()
+                return fn
+
+            scheduler.spawn("a", body("a"))
+            scheduler.spawn("b", body("b"))
+            scheduler.run()
+            return trace
+
+        first, second = trace_run(), trace_run()
+        assert first == second
+        assert first[:4] == ["a0", "b0", "a1", "b1"]
+
+    def test_task_errors_are_captured(self):
+        __, __, scheduler = make_lock_world()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        scheduler.spawn("bad", boom)
+        scheduler.spawn("good", lambda: "ok")
+        tasks = scheduler.run()
+        assert isinstance(tasks[0].error, RuntimeError)
+        assert tasks[1].result == "ok"
+
+
+# ---------------------------------------------------------------- lock waits
+
+
+class TestLockWaitProtocol:
+    def test_fifo_fairness_shared_does_not_overtake_exclusive(self):
+        """T1 holds S; T2 queues X; a later S request (T3) must wait
+        behind the X instead of piggybacking on T1's S lock."""
+        __, locks, scheduler = make_lock_world()
+        order = []
+
+        def t1():
+            locks.acquire(1, A, LockMode.SHARED)
+            scheduler.yield_point()  # let T2 and T3 queue up
+            assert [t for t, __ in locks.waiters(A)] == [2, 3]
+            locks.release_all(1)
+
+        def t2():
+            locks.acquire(2, A, LockMode.EXCLUSIVE)
+            order.append(2)
+            locks.release_all(2)
+
+        def t3():
+            locks.acquire(3, A, LockMode.SHARED)
+            order.append(3)
+            locks.release_all(3)
+
+        scheduler.spawn("t1", t1)
+        scheduler.spawn("t2", t2)
+        scheduler.spawn("t3", t3)
+        tasks = scheduler.run()
+        assert [t.error for t in tasks] == [None, None, None]
+        assert order == [2, 3]
+
+    def test_shared_to_exclusive_upgrade_waits_for_other_readers(self):
+        events = []
+        __, locks, scheduler = make_lock_world()
+
+        def upgrader():
+            locks.acquire(1, A, LockMode.SHARED)
+            scheduler.yield_point()  # T2 takes S too
+            locks.acquire(1, A, LockMode.EXCLUSIVE)  # waits for T2
+            events.append("upgraded")
+            assert locks.held(A) == (LockMode.EXCLUSIVE, {1})
+            locks.release_all(1)
+
+        def reader():
+            locks.acquire(2, A, LockMode.SHARED)
+            scheduler.yield_point()  # T1 is now waiting to upgrade
+            events.append("reader-release")
+            locks.release_all(2)
+
+        scheduler.spawn("up", upgrader)
+        scheduler.spawn("rd", reader)
+        tasks = scheduler.run()
+        assert [t.error for t in tasks] == [None, None]
+        assert events == ["reader-release", "upgraded"]
+
+    def test_competing_upgrades_deadlock_aborts_youngest(self):
+        """Two S holders both requesting X wait on each other — a
+        2-cycle; the youngest (txn 2) must be the victim."""
+        outcome = {}
+        __, locks, scheduler = make_lock_world()
+
+        def body(txn_id):
+            def fn():
+                locks.acquire(txn_id, A, LockMode.SHARED)
+                scheduler.yield_point()
+                try:
+                    locks.acquire(txn_id, A, LockMode.EXCLUSIVE)
+                    outcome[txn_id] = "upgraded"
+                except DeadlockError:
+                    outcome[txn_id] = "victim"
+                locks.release_all(txn_id)
+            return fn
+
+        scheduler.spawn("t1", body(1))
+        scheduler.spawn("t2", body(2))
+        tasks = scheduler.run()
+        assert [t.error for t in tasks] == [None, None]
+        assert outcome == {1: "upgraded", 2: "victim"}
+
+    def test_lock_timeout_aborts_waiter(self):
+        clock, locks, scheduler = make_lock_world(timeout_s=1.0)
+        outcome = {}
+
+        def holder():
+            locks.acquire(1, A, LockMode.EXCLUSIVE)
+            scheduler.yield_point()           # T2 starts waiting
+            clock.charge_s(Bucket.CPU, 5.0)   # simulated time passes
+            scheduler.yield_point()           # switch fires the timeout
+            locks.release_all(1)
+
+        def waiter():
+            try:
+                locks.acquire(2, A, LockMode.EXCLUSIVE)
+                outcome[2] = "granted"
+                locks.release_all(2)
+            except LockTimeoutError:
+                outcome[2] = "timeout"
+
+        scheduler.spawn("holder", holder)
+        scheduler.spawn("waiter", waiter)
+        tasks = scheduler.run()
+        assert [t.error for t in tasks] == [None, None]
+        assert outcome == {2: "timeout"}
+        assert locks.waiting_count == 0
+
+    def test_three_session_deadlock_cycle(self):
+        """T1:A T2:B T3:C, then T1->B, T2->C, T3->A: a 3-cycle.  The
+        youngest (T3) aborts; the others complete."""
+        outcome = {}
+        __, locks, scheduler = make_lock_world()
+        held = {1: A, 2: B, 3: C}
+        wanted = {1: B, 2: C, 3: A}
+
+        def body(txn_id):
+            def fn():
+                locks.acquire(txn_id, held[txn_id], LockMode.EXCLUSIVE)
+                scheduler.yield_point()  # everyone holds their first lock
+                try:
+                    locks.acquire(txn_id, wanted[txn_id], LockMode.EXCLUSIVE)
+                    outcome[txn_id] = "ok"
+                except DeadlockError:
+                    outcome[txn_id] = "victim"
+                locks.release_all(txn_id)
+            return fn
+
+        for txn_id in (1, 2, 3):
+            scheduler.spawn(f"t{txn_id}", body(txn_id))
+        tasks = scheduler.run()
+        assert [t.error for t in tasks] == [None, None, None]
+        assert outcome == {1: "ok", 2: "ok", 3: "victim"}
+        assert locks.lock_count == 0
+        assert locks.waiting_count == 0
+
+
+# ---------------------------------------------------------------- service
+
+
+class TestQueryService:
+    def test_two_session_deadlock_youngest_aborts_survivor_commits(
+        self, tiny_derby
+    ):
+        derby = tiny_derby
+        derby.start_cold_run()
+        service = QueryService(derby)
+        alice = service.open_session("alice")
+        bob = service.open_session("bob")
+        rid_a, rid_b = derby.patient_rids[0], derby.patient_rids[1]
+        outcome = {}
+
+        def make_body(session, first, second, marker_age):
+            def body():
+                session.begin()
+                session.write_lock(first)
+                session.pause()
+                try:
+                    session.write_lock(second)
+                    session.update_scalar(first, "age", marker_age)
+                    session.update_scalar(second, "age", marker_age)
+                    session.commit()
+                    outcome[session.name] = "committed"
+                except DeadlockError:
+                    session.abort()
+                    outcome[session.name] = "victim"
+            return body
+
+        service.spawn(alice, make_body(alice, rid_a, rid_b, 41))
+        service.spawn(bob, make_body(bob, rid_b, rid_a, 42))
+        tasks = service.run()
+        service.close()
+
+        assert [t.error for t in tasks] == [None, None]
+        # bob began second -> youngest -> victim; alice commits.
+        assert outcome == {"alice": "committed", "bob": "victim"}
+        om = derby.db.manager
+        assert om.get_attr_at(rid_a, "age") == 41
+        assert om.get_attr_at(rid_b, "age") == 41
+        assert service.txm.committed == 1
+        assert service.txm.aborted == 1
+        assert service.txm.locks.lock_count == 0
+
+    def test_close_restores_single_client_configuration(self, tiny_derby):
+        derby = tiny_derby
+        base_cache = derby.db.system.client_cache
+        base_handles = derby.db.handles
+        service = QueryService(derby, server_cache_pages=4)
+        session = service.open_session("s")
+        service.spawn(session, lambda: session.execute(
+            "select count(p) from p in Patients where p.mrn < 10"
+        ))
+        service.run()
+        service.close()
+        assert derby.db.system.client_cache is base_cache
+        assert derby.db.handles is base_handles
+        assert derby.db.manager.handles is base_handles
+        assert derby.db.system.on_fault is None
+
+    def test_sessions_have_private_client_tiers(self, tiny_derby):
+        derby = tiny_derby
+        derby.start_cold_run()
+        service = QueryService(derby)
+        s1 = service.open_session("one")
+        s2 = service.open_session("two")
+        query = "select count(p) from p in Providers where p.upin < 100"
+        service.spawn(s1, lambda: s1.execute(query))
+        service.spawn(s2, lambda: s2.execute(query))
+        service.run()
+        service.close()
+        assert s1.cache is not s2.cache
+        # Both sessions did real page traffic through their own tier.
+        assert s1.metrics.meters.client_faults > 0
+        assert s2.metrics.meters.client_faults > 0
+        # The second reader of a page hits the *shared* server cache.
+        assert (
+            s1.metrics.meters.server_hits + s2.metrics.meters.server_hits > 0
+        )
+
+
+# ---------------------------------------------------------------- workload
+
+
+class TestWorkloadMixer:
+    def test_mix_runs_and_records_stats(self, tiny_derby):
+        from repro.stats import StatsDatabase
+
+        stats = StatsDatabase()
+        config = MixConfig.from_clients(3, ops_per_client=2, seed=3)
+        report = WorkloadMixer(tiny_derby, config, stats=stats).run()
+        assert report.committed == 3 * 2
+        assert len(stats) == 3
+        rows = stats.rows()
+        assert {r.algo for r in rows} == {
+            "mix-navigator", "mix-scanner", "mix-updater"
+        }
+        assert all(r.elapsed_s > 0 for r in rows)
+        text = str(report.table())
+        assert "aggregate" in text and "navigator0" in text
+
+    def test_mix_is_deterministic_across_fresh_databases(self):
+        config = MixConfig.from_clients(4, ops_per_client=2, seed=9)
+        r1 = WorkloadMixer(fresh_tiny_derby(), config).run()
+        r2 = WorkloadMixer(fresh_tiny_derby(), config).run()
+        assert r1.elapsed_s == pytest.approx(r2.elapsed_s)
+        assert r1.committed == r2.committed
+        assert r1.aborted == r2.aborted
+        assert r1.deadlocks == r2.deadlocks
+        assert [s.metrics.latencies_s for s in r1.sessions] == [
+            s.metrics.latencies_s for s in r2.sessions
+        ]
+
+    def test_from_clients_deals_round_robin(self):
+        config = MixConfig.from_clients(8)
+        assert (config.navigators, config.scanners, config.updaters) == (
+            3, 3, 2
+        )
+        with pytest.raises(Exception):
+            MixConfig.from_clients(0)
+
+
+# ---------------------------------------------------------------- CLI
+
+
+class TestMixCli:
+    def test_mix_command_end_to_end(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "mix", "--db", "1to3", "--scale", "0.00001",
+            "--clients", "2", "--ops", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate" in out
+        assert "stats database: 2 Stat row(s) recorded" in out

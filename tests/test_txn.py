@@ -103,6 +103,58 @@ class TestLockManager:
         assert locks.release_all(1) == 2
         assert locks.lock_count == 1  # txn 2 still holds one
 
+    def test_fail_fast_without_scheduler_keeps_queue_empty(self):
+        locks = self.make()
+        rid = Rid(0, 0, 0)
+        locks.acquire(1, rid, LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, rid, LockMode.SHARED)
+        assert locks.waiting_count == 0
+        assert locks.waiters(rid) == []
+
+    def test_wait_mode_grants_after_release(self):
+        """With a waiter attached, a conflicting request queues; when the
+        holder releases, the queued request is granted and woken."""
+        locks = self.make()
+        rid = Rid(0, 0, 0)
+        locks.acquire(1, rid, LockMode.EXCLUSIVE)
+        woken = []
+
+        def wait(txn_id, waited_rid):
+            assert locks.waiters(waited_rid) == [(2, LockMode.EXCLUSIVE)]
+            assert locks.waits_for() == {2: {1}}
+            locks.release_all(1)  # grants + wakes the queued request
+
+        locks.attach(wait, woken.append)
+        locks.acquire(2, rid, LockMode.EXCLUSIVE)
+        assert woken == [2]
+        assert locks.held(rid) == (LockMode.EXCLUSIVE, {2})
+        assert locks.waiting_count == 0
+
+    def test_wait_mode_cancels_request_when_wait_raises(self):
+        locks = self.make()
+        rid = Rid(0, 0, 0)
+        locks.acquire(1, rid, LockMode.EXCLUSIVE)
+
+        def wait(txn_id, waited_rid):
+            locks.cancel_wait(txn_id)
+            raise LockConflictError("victim")
+
+        locks.attach(wait, lambda txn_id: None)
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, rid, LockMode.EXCLUSIVE)
+        assert locks.waiting_count == 0
+        assert locks.held(rid) == (LockMode.EXCLUSIVE, {1})
+
+    def test_detach_restores_fail_fast(self):
+        locks = self.make()
+        rid = Rid(0, 0, 0)
+        locks.attach(lambda t, r: locks.release_all(1), lambda t: None)
+        locks.detach()
+        locks.acquire(1, rid, LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, rid, LockMode.EXCLUSIVE)
+
 
 # ------------------------------------------------------------- transactions
 
@@ -195,6 +247,8 @@ class TestTransaction:
         t1.commit()
         t2.abort()
         assert txm.active_count == 0
+        assert txm.committed == 1
+        assert txm.aborted == 1
 
     def test_lock_helpers(self):
         db = make_db()
