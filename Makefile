@@ -1,4 +1,4 @@
-.PHONY: install test bench figures mix shell artifacts clean
+.PHONY: install test bench figures mix recover shell artifacts clean
 
 PYTHON ?= python
 # Run the package from the source tree; `make install` is optional.
@@ -20,6 +20,11 @@ figures:
 # Multi-client workload mix through the query service.
 mix:
 	$(PYTHON) -m repro mix --clients 8
+
+# Crash-recovery fuzz: 40 seeds x 5 crash points = 200 cases, each
+# double-run for determinism; exits nonzero on any contract violation.
+recover:
+	$(PYTHON) -m repro crash fuzz --seeds 40
 
 shell:
 	$(PYTHON) -m repro shell

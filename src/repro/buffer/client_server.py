@@ -154,6 +154,16 @@ class ClientServerSystem:
         self.client_cache.clear()
         self.server_cache.clear()
 
+    def crash_volatile(self) -> None:
+        """Both tiers vanish with the power: no write-back, no charges.
+
+        Unlike :meth:`restart_cold` this does not even clear dirty
+        flags — the page objects themselves are reverted to their
+        durable images by :meth:`DiskManager.crash`, which owns the
+        crash semantics."""
+        self.client_cache.clear()
+        self.server_cache.clear()
+
     # -- write-back callbacks -------------------------------------------------
 
     def _write_back_to_server(self, page: Page) -> None:

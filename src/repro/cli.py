@@ -18,6 +18,11 @@ Commands
     Run a deterministic multi-client workload mix (navigators +
     scanners + updaters) through the query service and print
     per-session latency/throughput plus the aggregate.
+``crash``
+    Crash-recovery tooling: ``crash demo`` kills a running mix at a
+    named crash point and restarts it through ARIES-lite;
+    ``crash fuzz`` runs the seeded (workload x crash point) checker
+    grid and exits nonzero on any recovery-contract violation.
 ``info``
     Print the cost model and memory budgets in use.
 """
@@ -326,6 +331,100 @@ def cmd_mix(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------------ crash
+
+def cmd_crash_demo(args: argparse.Namespace) -> int:
+    """Crash a workload mix at a named point, then recover it."""
+    from repro.recovery import CrashInjector
+    from repro.service import MixConfig, WorkloadMixer
+
+    config = _make_config(args)
+    print(f"loading {config.n_providers} providers / "
+          f"{config.n_patients} patients "
+          f"({config.clustering.value} clustering) ...", file=sys.stderr)
+    derby = load_derby(config)
+    injector = CrashInjector(args.point, args.occurrence)
+    mix_config = MixConfig.from_clients(
+        args.clients, ops_per_client=args.ops, seed=args.seed
+    )
+    mixer = WorkloadMixer(derby, mix_config, injector=injector)
+    report = mixer.run()
+    service = mixer.service
+    assert service is not None
+    if not report.crashed:
+        print(f"mix finished cleanly: crash point {args.point!r} was "
+              f"reached {injector.seen} time(s), needed "
+              f"{args.occurrence}.  Try --occurrence "
+              f"{max(1, injector.seen // 2)} or more --ops.")
+        return 1
+    wal = service.txm.log
+    durable = [r for r in wal.records]
+    committed = [r.txn_id for r in durable if r.kind == "commit"]
+    print(f"\ncrash: {args.point} fired on occurrence {injector.seen}")
+    print(f"  durable log: {len(durable)} records, LSN <= {wal.durable_lsn}")
+    print(f"  acked commits before the crash: "
+          f"{sum(s.metrics.committed for s in service.sessions)}")
+    recovery = service.recover()
+    print(f"recovery: {recovery.seconds:.4f} simulated s")
+    print(f"  analysis scanned {recovery.log_records_scanned} records "
+          f"({recovery.log_pages_read} log pages) from checkpoint "
+          f"LSN {recovery.checkpoint_lsn}")
+    print(f"  redo reapplied {recovery.records_redone} records on "
+          f"{recovery.pages_redone} pages from LSN "
+          f"{recovery.redo_start_lsn}")
+    print(f"  undo rolled back {recovery.records_undone} records in "
+          f"{recovery.txns_undone} loser transaction(s)")
+    print(f"recovered transactions (durably committed): "
+          f"{sorted(committed) or 'none'}")
+    print(f"lost transactions (in flight, rolled back) : "
+          f"{sorted(recovery.losers) or 'none'}")
+    age = derby.db.manager.get_attr_at(derby.patient_rids[0], "age")
+    print(f"post-recovery sanity read: patient[0].age = {age}")
+    return 0
+
+
+def cmd_crash_fuzz(args: argparse.Namespace) -> int:
+    """Run the seeded crash/recovery checker grid."""
+    from repro.recovery import CRASH_POINTS, run_fuzz, summarize
+    from repro.stats import recovery_to_csv
+
+    points = tuple(args.points) if args.points else CRASH_POINTS
+    results = run_fuzz(
+        range(args.seeds),
+        points=points,
+        txns=args.txns,
+        checkpoint_every=args.checkpoint_every,
+        check_determinism=not args.no_determinism,
+    )
+    print(summarize(results))
+    if args.csv:
+        from types import SimpleNamespace
+
+        rows = [
+            SimpleNamespace(
+                label=f"fuzz-{r.seed}",
+                crash_point=r.point,
+                checkpoint_every=args.checkpoint_every,
+                txns=r.txns_started,
+                committed=r.durable_commits,
+                lost=r.losers,
+                recovery_s=r.report.seconds,
+                log_records_scanned=r.report.log_records_scanned,
+                log_pages_read=r.report.log_pages_read,
+                pages_redone=r.report.pages_redone,
+                records_redone=r.report.records_redone,
+                txns_undone=r.report.txns_undone,
+                records_undone=r.report.records_undone,
+                durability_ok=int(r.ok),
+            )
+            for r in results
+        ]
+        with open(args.csv, "w") as fh:
+            fh.write(recovery_to_csv(rows))
+        print(f"wrote {args.csv}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 # ------------------------------------------------------------------ layout
 
 def cmd_layout(args: argparse.Namespace) -> int:
@@ -457,6 +556,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also export per-session metrics as CSV "
                      "to this path")
     mix.set_defaults(func=cmd_mix)
+
+    crash = sub.add_parser(
+        "crash", help="crash-recovery demo and fuzz checker"
+    )
+    crash_sub = crash.add_subparsers(dest="action", required=True)
+
+    demo = crash_sub.add_parser(
+        "demo", help="crash a mix at a named point, then recover"
+    )
+    _add_db_options(demo)
+    from repro.recovery import CRASH_POINTS as _POINTS
+    demo.add_argument("--point", choices=_POINTS, default="mix-run",
+                      help="which named crash point to arm")
+    demo.add_argument("--occurrence", type=int, default=12,
+                      help="fire the n-th time the point is reached")
+    demo.add_argument("--clients", type=int, default=4)
+    demo.add_argument("--ops", type=int, default=4,
+                      help="operations (transactions) per client")
+    demo.add_argument("--seed", type=int, default=1)
+    demo.set_defaults(func=cmd_crash_demo)
+
+    fuzz = crash_sub.add_parser(
+        "fuzz", help="seeded (workload x crash point) recovery checker"
+    )
+    fuzz.add_argument("--seeds", type=int, default=8,
+                      help="seeds per crash point (cases = seeds x points)")
+    fuzz.add_argument("--points", nargs="*", choices=_POINTS, default=None,
+                      help="crash points to cover (default: all)")
+    fuzz.add_argument("--txns", type=int, default=10,
+                      help="transactions per two-slot workload case")
+    fuzz.add_argument("--checkpoint-every", type=int, default=3,
+                      help="checkpoint every n started transactions "
+                      "(0: never)")
+    fuzz.add_argument("--no-determinism", action="store_true",
+                      help="skip the double-run determinism check")
+    fuzz.add_argument("--csv", default=None,
+                      help="export per-case recovery rows as CSV")
+    fuzz.set_defaults(func=cmd_crash_fuzz)
 
     layout = sub.add_parser(
         "layout", help="print the Figure 2 view of a database's files"

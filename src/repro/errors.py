@@ -103,6 +103,18 @@ class ServiceError(ReproError):
     scheduler, misconfigured workload mix)."""
 
 
+class RecoveryError(ReproError):
+    """Crash-recovery subsystem failures (bad crash point, restart
+    invoked on a system that did not crash, corrupt log)."""
+
+
+class SimulatedCrashError(RecoveryError):
+    """The :class:`~repro.recovery.CrashInjector` killed the system at
+    its configured crash point.  Everything volatile — caches, unflushed
+    log records, in-place page mutations that never reached the disk —
+    is lost; only the durable state survives for restart."""
+
+
 class QueryError(ReproError):
     """Base class for OQL front-end failures."""
 

@@ -200,6 +200,19 @@ class HandleTable:
         self._live.clear()
         self._parked.clear()
 
+    def forget_page(self, file_id: int, page_no: int) -> None:
+        """Drop cached handles for records living on one page — used when
+        the page's content was physically rolled back, so any cached
+        decoded copy is stale.  Free, like :meth:`clear`: invalidation
+        models no O2 cost, only the reload that follows does."""
+        for table in (self._live, self._parked):
+            stale = [
+                rid for rid in table
+                if rid.file_id == file_id and rid.page_no == page_no
+            ]
+            for rid in stale:
+                del table[rid]
+
     # -- internals -------------------------------------------------------
 
     def _charge_alloc(self, fraction: float) -> None:

@@ -1,0 +1,35 @@
+"""Crash recovery: physical WAL replay, checkpoints, fault injection.
+
+The subsystem has three parts.  :mod:`repro.recovery.aries` is the
+ARIES-lite restart driver (analysis/redo/undo over the durable log) and
+the checkpoint writer.  :mod:`repro.recovery.crash` owns the crash
+semantics — a :class:`CrashInjector` that kills the system at named
+crash points and :func:`crash_database`, which discards everything
+volatile.  :mod:`repro.recovery.fuzz` is the seeded correctness checker
+that crashes random workloads at random points and verifies the
+committed-visible / uncommitted-gone contract after restart.
+
+See ``docs/recovery.md`` for the log format and the recovery protocol.
+"""
+
+from repro.recovery.aries import RecoveryReport, restart, take_checkpoint
+from repro.recovery.crash import CRASH_POINTS, CrashInjector, crash_database
+from repro.recovery.fuzz import (
+    FuzzResult,
+    run_case,
+    run_fuzz,
+    summarize,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashInjector",
+    "FuzzResult",
+    "RecoveryReport",
+    "crash_database",
+    "restart",
+    "run_case",
+    "run_fuzz",
+    "summarize",
+    "take_checkpoint",
+]

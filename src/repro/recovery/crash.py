@@ -1,0 +1,142 @@
+"""Crash-point fault injection.
+
+A :class:`CrashInjector` arms hooks inside the write-ahead log and the
+disk manager and kills the system — by raising
+:class:`~repro.errors.SimulatedCrashError` — at a *named* crash point
+the n-th time it is reached.  The points cover the places where a real
+recovery protocol earns its keep:
+
+``log-append``
+    mid log-append: the record is in the volatile log buffer, nothing
+    reached disk.
+``commit-flush``
+    mid multi-page commit flush: only a prefix of the pending records'
+    log pages was written, so the durable boundary lands *inside* the
+    flush — the torn commit.
+``flush-write-gap``
+    between the WAL-rule log flush and the data-page write: the log says
+    the change happened, the page still holds the old version.
+``checkpoint``
+    mid checkpoint: dirty pages were flushed but the checkpoint record
+    itself was lost.
+``mix-run``
+    mid concurrent run (a :class:`~repro.service.WorkloadMixer` or any
+    scheduled workload): fires on a log append while several sessions
+    are in flight.
+
+After the injector fires, every further hook refuses service with the
+same exception, so the rest of the workload cannot mutate durable state
+"after" the crash.  :func:`crash_database` then performs the actual loss
+of volatility: caches, lock table, open transactions and the unflushed
+log tail vanish; the disk reverts every page to its last written image.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RecoveryError, SimulatedCrashError
+
+#: The named crash points, in the order the tentpole lists them.
+CRASH_POINTS = (
+    "log-append",
+    "commit-flush",
+    "flush-write-gap",
+    "checkpoint",
+    "mix-run",
+)
+
+
+class CrashInjector:
+    """Kills the system the ``occurrence``-th time ``point`` is reached."""
+
+    def __init__(self, point: str, occurrence: int = 1):
+        if point not in CRASH_POINTS:
+            raise RecoveryError(
+                f"unknown crash point {point!r}; choose from {CRASH_POINTS}"
+            )
+        if occurrence < 1:
+            raise RecoveryError(f"occurrence must be >= 1, got {occurrence}")
+        self.point = point
+        self.occurrence = occurrence
+        self.seen = 0
+        self.fired = False
+
+    def arm(self, db, wal) -> None:
+        """Attach to a database's log and disk."""
+        wal.injector = self
+        db.disk.injector = self
+
+    def disarm(self, db, wal) -> None:
+        if wal.injector is self:
+            wal.injector = None
+        if db.disk.injector is self:
+            db.disk.injector = None
+
+    def fire(self, detail: str) -> None:
+        self.fired = True
+        raise SimulatedCrashError(
+            f"simulated crash at {self.point} (occurrence {self.seen}: {detail})"
+        )
+
+    def _down(self) -> None:
+        if self.fired:
+            raise SimulatedCrashError(
+                f"system is down (crashed at {self.point})"
+            )
+
+    # -- hooks (called by WriteAheadLog / DiskManager / checkpoint) ------
+
+    def on_append(self, record) -> None:
+        self._down()
+        if self.point in ("log-append", "mix-run"):
+            self.seen += 1
+            if self.seen == self.occurrence:
+                self.fire(f"record lsn={record.lsn} kind={record.kind}")
+
+    def on_flush(self, pages_needed: int) -> int | None:
+        """Return a page budget to tear the flush, or ``None`` to let it
+        complete.  The log writes the budgeted pages and then calls
+        :meth:`fire`, so a durable record prefix survives."""
+        self._down()
+        if self.point != "commit-flush" or pages_needed < 1:
+            return None
+        self.seen += 1
+        if self.seen == self.occurrence:
+            return pages_needed // 2  # 0 for single-page flushes
+        return None
+
+    def on_page_write(self, page_key: tuple[int, int]) -> None:
+        self._down()
+        if self.point == "flush-write-gap":
+            self.seen += 1
+            if self.seen == self.occurrence:
+                self.fire(f"page {page_key} never written")
+
+    def on_checkpoint(self) -> None:
+        self._down()
+        if self.point == "checkpoint":
+            self.seen += 1
+            if self.seen == self.occurrence:
+                self.fire("pages flushed, checkpoint record lost")
+
+
+def crash_database(db, txm=None) -> None:
+    """Lose everything volatile, keeping only durable state.
+
+    Order matters: the log is truncated to its durable boundary first
+    (so nothing later can consult unflushed records), then the caches,
+    handle table, open transactions and lock table evaporate, and
+    finally the disk reverts every page to its last written image.
+    No simulated time is charged — power cuts are free.
+    """
+    wal = txm.log if txm is not None else db.disk.wal
+    if wal is not None:
+        injector = wal.injector
+        if injector is not None:
+            injector.disarm(db, wal)
+        wal.crash()
+    db.disk.injector = None
+    db.system.crash_volatile()
+    db.handles.clear()
+    if txm is not None:
+        txm.crash_volatile()
+    db.disk.crash()

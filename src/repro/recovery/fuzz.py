@@ -1,0 +1,353 @@
+"""Seeded crash-recovery fuzz checker.
+
+Each case builds a small durably-loaded database, runs a seeded random
+transactional workload with a :class:`CrashInjector` armed at one of the
+named crash points, crashes, restarts through the ARIES-lite driver and
+then verifies the recovery contract against an oracle kept outside the
+simulated system:
+
+* every transaction whose ``commit()`` returned (the ack) has a durable
+  commit record — no lost acks;
+* the recovered value of every record equals the last write of the
+  durably-committed transactions, applied in commit-LSN order;
+* every object created by a loser transaction is gone;
+* recovery is deterministic: re-running the same (seed, crash point)
+  case reproduces the identical recovered state and report.
+
+``mix-run`` cases drive several concurrent workers through the
+cooperative scheduler (lock waits, deadlock retries) — the same
+machinery the :class:`~repro.service.WorkloadMixer` runs on — so the
+crash lands mid-concurrent-run; the other points use a two-slot
+interleaved workload over disjoint key pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.errors import (
+    LockConflictError,
+    ReproError,
+    ServiceError,
+    SimulatedCrashError,
+    StorageError,
+)
+from repro.objects import AttrKind, AttributeDef, Database, Schema
+from repro.recovery.aries import RecoveryReport, restart, take_checkpoint
+from repro.recovery.crash import CRASH_POINTS, CrashInjector, crash_database
+from repro.storage.rid import Rid
+from repro.txn import TransactionManager
+
+#: Fixed-width filler so base records spread over several pages.
+_PAD = "x" * 96
+
+#: How many times each crash point can plausibly be reached in one case;
+#: the occurrence is drawn from this range so crashes land early, late
+#: and (sometimes) never — the never case degenerates to a clean crash
+#: at quiesce, which recovery must also handle.
+_OCCURRENCE_RANGE = {
+    "log-append": 48,
+    "commit-flush": 14,
+    "flush-write-gap": 8,
+    "checkpoint": 4,
+    "mix-run": 56,
+}
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one (seed, crash point) case."""
+
+    seed: int
+    point: str
+    occurrence: int
+    fired: bool
+    txns_started: int
+    acked: int
+    durable_commits: int
+    losers: int
+    failures: list[str] = field(default_factory=list)
+    report: RecoveryReport = field(default_factory=RecoveryReport)
+    #: Canonical recovered state: ``((rid, value | None), ...)`` — used
+    #: by the determinism check.
+    digest: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _make_db(base_records: int = 96) -> tuple[Database, list[Rid]]:
+    """A small Thing database whose base records are durably on disk."""
+    schema = Schema()
+    schema.define(
+        "Thing",
+        [
+            AttributeDef("x", AttrKind.INT32),
+            AttributeDef("pad", AttrKind.STRING, width=len(_PAD)),
+        ],
+    )
+    db = Database(schema)
+    db.create_file("things")
+    rids = [
+        db.create_object("Thing", {"x": i * 100, "pad": _PAD}, "things")
+        for i in range(base_records)
+    ]
+    db.shutdown()  # flush: the preload is durable before the fuzz starts
+    return db, rids
+
+
+def _read_x(db: Database, rid: Rid):
+    """Recovered value of ``rid``'s x, or ``None`` if the record is gone."""
+    try:
+        return db.manager.get_attr_at(rid, "x")
+    except (StorageError, ReproError):
+        return None
+
+
+def run_case(
+    seed: int,
+    point: str,
+    txns: int = 10,
+    checkpoint_every: int = 3,
+) -> FuzzResult:
+    """Run one seeded workload, crash at ``point``, recover and verify."""
+    rng = Random(seed * 1_000_003 + CRASH_POINTS.index(point))
+    db, rids = _make_db()
+    txm = TransactionManager(db, recovery=True)
+    occurrence = rng.randint(1, _OCCURRENCE_RANGE[point])
+    injector = CrashInjector(point, occurrence)
+    injector.arm(db, txm.log)
+
+    base = {rid: i * 100 for i, rid in enumerate(rids)}
+    txn_writes: dict[int, dict[Rid, int]] = {}
+    txn_creates: dict[int, list[Rid]] = {}
+    acked: list[int] = []
+
+    try:
+        if point == "mix-run":
+            started = _mix_workload(
+                db, txm, rids, rng, txn_writes, txn_creates, acked
+            )
+        else:
+            started = _two_slot_workload(
+                db, txm, rids, rng, txn_writes, txn_creates, acked,
+                txns, checkpoint_every,
+            )
+    except SimulatedCrashError:
+        started = len(txn_writes)
+
+    crash_database(db, txm)
+    commit_order = [r.txn_id for r in txm.log.records if r.kind == "commit"]
+    report = restart(db, txm)
+
+    failures: list[str] = []
+    durable = set(commit_order)
+    for txn_id in acked:
+        if txn_id not in durable:
+            failures.append(f"txn {txn_id}: commit acked but not durable")
+
+    expected = dict(base)
+    for txn_id in commit_order:
+        expected.update(txn_writes.get(txn_id, {}))
+    loser_creates = [
+        rid
+        for txn_id, created in txn_creates.items()
+        if txn_id not in durable
+        for rid in created
+    ]
+    for rid in sorted(expected):
+        value = _read_x(db, rid)
+        if value != expected[rid]:
+            failures.append(
+                f"rid {tuple(rid)}: expected {expected[rid]}, found {value}"
+            )
+    for rid in sorted(loser_creates):
+        value = _read_x(db, rid)
+        if value is not None:
+            failures.append(
+                f"rid {tuple(rid)}: loser-created object survived ({value})"
+            )
+
+    digest = tuple(
+        (tuple(rid), _read_x(db, rid))
+        for rid in sorted(set(expected) | set(loser_creates))
+    ) + (
+        report.log_records_scanned,
+        report.records_redone,
+        report.records_undone,
+        report.txns_undone,
+        round(report.seconds, 9),
+    )
+    return FuzzResult(
+        seed=seed,
+        point=point,
+        occurrence=occurrence,
+        fired=injector.fired,
+        txns_started=started,
+        acked=len(acked),
+        durable_commits=len(durable),
+        losers=report.txns_undone,
+        failures=failures,
+        report=report,
+        digest=digest,
+    )
+
+
+def _two_slot_workload(
+    db, txm, rids, rng, txn_writes, txn_creates, acked, txns, checkpoint_every
+) -> int:
+    """Up to two interleaved transactions over disjoint rid pools, so a
+    crash can leave several losers and checkpoints see a live ATT."""
+    half = len(rids) // 2
+    pools = (rids[:half], rids[half:])
+    slots: list[dict | None] = [None, None]
+    started = 0
+    while started < txns or any(s is not None for s in slots):
+        i = rng.randrange(2)
+        if slots[i] is None:
+            if started >= txns:
+                i = next(j for j, s in enumerate(slots) if s is not None)
+            else:
+                if checkpoint_every and started and started % checkpoint_every == 0:
+                    take_checkpoint(db, txm)
+                txn = txm.begin()
+                txn_writes[txn.txn_id] = {}
+                txn_creates[txn.txn_id] = []
+                slots[i] = {"txn": txn, "ops": 0}
+                started += 1
+                continue
+        slot = slots[i]
+        txn = slot["txn"]
+        roll = rng.random()
+        if roll < 0.55 or slot["ops"] == 0:
+            rid = pools[i][rng.randrange(len(pools[i]))]
+            value = rng.randrange(1_000_000)
+            txn.update_scalar(rid, "x", value)
+            txn_writes[txn.txn_id][rid] = value
+            slot["ops"] += 1
+        elif roll < 0.70:
+            value = rng.randrange(1_000_000)
+            rid = txn.create_object("Thing", {"x": value, "pad": _PAD}, "things")
+            txn_writes[txn.txn_id][rid] = value
+            txn_creates[txn.txn_id].append(rid)
+            slot["ops"] += 1
+        elif roll < 0.88:
+            txn.commit()
+            acked.append(txn.txn_id)
+            slots[i] = None
+        else:
+            txn.abort()
+            slots[i] = None
+    return started
+
+
+def _mix_workload(db, txm, rids, rng, txn_writes, txn_creates, acked) -> int:
+    """Three concurrent workers over an overlapping hot set, scheduled
+    cooperatively with lock waits and deadlock-abort retries."""
+    from repro.service.scheduler import CooperativeScheduler
+
+    scheduler = CooperativeScheduler(db.clock, txm.locks)
+    db.system.on_fault = scheduler.yield_point
+    hot = rids[: max(6, len(rids) // 3)]
+
+    def worker(worker_seed: int, ops: int):
+        wrng = Random(worker_seed)
+
+        def run() -> None:
+            for __ in range(ops):
+                for __retry in range(4):
+                    txn = txm.begin()
+                    txn_writes[txn.txn_id] = {}
+                    txn_creates[txn.txn_id] = []
+                    try:
+                        for __w in range(2):
+                            rid = hot[wrng.randrange(len(hot))]
+                            value = wrng.randrange(1_000_000)
+                            txn.update_scalar(rid, "x", value)
+                            txn_writes[txn.txn_id][rid] = value
+                            scheduler.yield_point()
+                        txn.commit()
+                        acked.append(txn.txn_id)
+                        break
+                    except LockConflictError:
+                        if txn.state == "active":
+                            txn.abort()
+
+        return run
+
+    for w in range(3):
+        scheduler.spawn(f"w{w}", worker(rng.randrange(2**31), ops=4))
+    try:
+        tasks = scheduler.run()
+    finally:
+        db.system.on_fault = None
+        txm.locks.detach()
+    crashed = False
+    for task in tasks:
+        if task.error is None:
+            continue
+        if isinstance(task.error, SimulatedCrashError):
+            crashed = True
+        elif not isinstance(task.error, (ServiceError, LockConflictError)):
+            raise task.error
+    if crashed:
+        raise SimulatedCrashError("mix-run workload crashed")
+    return len(txn_writes)
+
+
+def run_fuzz(
+    seeds,
+    points=CRASH_POINTS,
+    txns: int = 10,
+    checkpoint_every: int = 3,
+    check_determinism: bool = True,
+) -> list[FuzzResult]:
+    """Run the full (seed × crash point) grid; each case is independent.
+
+    With ``check_determinism`` every case runs twice and the recovered
+    state digests must match exactly.
+    """
+    results = []
+    for point in points:
+        for seed in seeds:
+            result = run_case(seed, point, txns, checkpoint_every)
+            if check_determinism:
+                rerun = run_case(seed, point, txns, checkpoint_every)
+                if rerun.digest != result.digest:
+                    result.failures.append(
+                        f"non-deterministic recovery for seed={seed} point={point}"
+                    )
+            results.append(result)
+    return results
+
+
+def summarize(results) -> str:
+    """Human-readable per-point summary of a fuzz run."""
+    lines = []
+    by_point: dict[str, list[FuzzResult]] = {}
+    for r in results:
+        by_point.setdefault(r.point, []).append(r)
+    header = (
+        f"{'point':<16} {'cases':>5} {'fired':>5} {'acked':>6} "
+        f"{'durable':>7} {'losers':>6} {'failures':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for point in sorted(by_point):
+        rs = by_point[point]
+        lines.append(
+            f"{point:<16} {len(rs):>5} {sum(r.fired for r in rs):>5} "
+            f"{sum(r.acked for r in rs):>6} "
+            f"{sum(r.durable_commits for r in rs):>7} "
+            f"{sum(r.losers for r in rs):>6} "
+            f"{sum(len(r.failures) for r in rs):>8}"
+        )
+    total = len(results)
+    bad = [r for r in results if not r.ok]
+    lines.append(
+        f"{total} cases, {len(bad)} failed"
+        + ("" if not bad else f" (first: {bad[0].failures[0]})")
+    )
+    return "\n".join(lines)

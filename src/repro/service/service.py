@@ -137,11 +137,13 @@ class Session:
         self._require_txn().write_lock(rid)
 
     def update_scalar(self, rid: Rid, attr: str, value: object) -> Rid:
-        """Write-lock, update and log one scalar attribute."""
-        txn = self._require_txn()
-        txn.write_lock(rid)
-        new_rid = self.service.db.manager.update_scalar(rid, attr, value)
-        txn.log_update(8)
+        """Write-lock, update and log one scalar attribute.
+
+        The transaction decides what "log" means: the legacy 8-byte cost
+        record, or — when the service runs with ``recovery=True`` — a
+        physical record with page images that a crash can be recovered
+        from."""
+        new_rid = self._require_txn().update_scalar(rid, attr, value)
         self.metrics.updates += 1
         return new_rid
 
@@ -171,11 +173,13 @@ class QueryService:
         lock_timeout_s: float | None = None,
         server_cache_pages: int | None = None,
         client_cache_pages: int | None = None,
+        recovery: bool = False,
     ):
         self.derby = derby
         self.db = derby.db
         self.catalog = Catalog.from_derby(derby)
-        self.txm = TransactionManager(self.db)
+        self.recovery = recovery
+        self.txm = TransactionManager(self.db, recovery=recovery)
         self.txm.locks.timeout_s = lock_timeout_s
         self.scheduler = CooperativeScheduler(
             self.db.clock, self.txm.locks, on_switch=self._on_switch
@@ -251,6 +255,50 @@ class QueryService:
         finally:
             self._accrue()
             self._activate(None)
+
+    # -- crash and recovery -------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush the dirty-page table and log a checkpoint record.
+
+        Requires ``recovery=True`` (without physical logging there is
+        nothing for a checkpoint to bound)."""
+        self._require_recovery("checkpoint")
+        from repro.recovery import take_checkpoint
+
+        take_checkpoint(self.db, self.txm)
+
+    def crash(self) -> None:
+        """Kill the server: every session's volatile state (client tier,
+        handle table, open transaction) is lost along with the shared
+        caches, lock table and unflushed log; the disk reverts to its
+        durable page images.  Call :meth:`recover` before using the
+        service again."""
+        self._require_recovery("crash")
+        from repro.recovery import crash_database
+
+        for session in self.sessions:
+            session.cache.clear()
+            session.handles.clear()
+            session.txn = None
+        crash_database(self.db, self.txm)
+        self._activate(None)
+
+    def recover(self):
+        """Run ARIES-lite restart (analysis/redo/undo) after
+        :meth:`crash`; returns the
+        :class:`~repro.recovery.RecoveryReport`."""
+        self._require_recovery("recover")
+        from repro.recovery import restart
+
+        return restart(self.db, self.txm)
+
+    def _require_recovery(self, op: str) -> None:
+        if not self.recovery:
+            raise ServiceError(
+                f"{op}() needs a service built with recovery=True "
+                "(physical logging is off)"
+            )
 
     def close(self) -> None:
         """Flush every session's client tier and restore the database's

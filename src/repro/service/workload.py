@@ -31,11 +31,13 @@ from repro.errors import (
     LockConflictError,
     LockTimeoutError,
     ServiceError,
+    SimulatedCrashError,
 )
 from repro.service.service import QueryService, Session, SessionMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.loader import DerbyDatabase
+    from repro.recovery import CrashInjector
     from repro.stats.store import StatsDatabase
 
 #: Profile names, in the order ``MixConfig.from_clients`` deals them.
@@ -117,6 +119,9 @@ class MixReport:
     #: Simulated seconds for the whole mix (the shared timeline).
     elapsed_s: float
     context_switches: int
+    #: ``True`` when a :class:`~repro.recovery.CrashInjector` killed the
+    #: run; the mixer's service is left crashed, awaiting ``recover()``.
+    crashed: bool = False
 
     @property
     def committed(self) -> int:
@@ -175,10 +180,17 @@ class WorkloadMixer:
         derby: "DerbyDatabase",
         config: MixConfig,
         stats: "StatsDatabase | None" = None,
+        injector: "CrashInjector | None" = None,
     ):
         self.derby = derby
         self.config = config
         self.stats = stats
+        #: Arming an injector switches the service to ``recovery=True``
+        #: (physical logging) so a mid-mix crash is recoverable.
+        self.injector = injector
+        #: The service of the last :meth:`run` — after a crash, call
+        #: ``self.service.recover()`` on it.
+        self.service: QueryService | None = None
 
     # -- the run ------------------------------------------------------------
 
@@ -193,7 +205,11 @@ class WorkloadMixer:
             lock_timeout_s=config.lock_timeout_s,
             server_cache_pages=config.server_cache_pages,
             client_cache_pages=config.client_cache_pages,
+            recovery=self.injector is not None,
         )
+        self.service = service
+        if self.injector is not None:
+            self.injector.arm(service.db, service.txm.log)
         reports: list[SessionReport] = []
         start_s = self.derby.db.clock.elapsed_s
         spawned = 0
@@ -212,17 +228,28 @@ class WorkloadMixer:
                                              session.metrics))
                 spawned += 1
         tasks = service.run()
-        service.close()
-        for task in tasks:
-            if task.error is not None:
-                raise task.error
+        crashed = any(
+            isinstance(t.error, SimulatedCrashError) for t in tasks
+        )
+        if crashed:
+            # Volatile state is meaningless past the crash point; do NOT
+            # close() (that would flush post-crash pages to disk).  Drop
+            # everything volatile so only durable state remains, leaving
+            # self.service ready for recover().
+            service.crash()
+        else:
+            service.close()
+            for task in tasks:
+                if task.error is not None:
+                    raise task.error
         report = MixReport(
             config=config,
             sessions=reports,
             elapsed_s=self.derby.db.clock.elapsed_s - start_s,
             context_switches=service.scheduler.context_switches,
+            crashed=crashed,
         )
-        if self.stats is not None:
+        if self.stats is not None and not crashed:
             self._record(report)
         return report
 

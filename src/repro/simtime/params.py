@@ -142,6 +142,9 @@ class CostParams:
     #: Per-record WAL append (amortized CPU; the flush is charged as
     #: page writes at commit time).
     log_append_us: float = 15.0
+    #: Per-record CPU to scan or apply a log record during rollback and
+    #: ARIES restart (analysis/redo/undo passes).
+    log_apply_us: float = 10.0
     #: Acquire/release one lock.
     lock_us: float = 4.0
     #: Commit bookkeeping, per transaction.

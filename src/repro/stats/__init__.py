@@ -8,8 +8,16 @@ This package stores every experiment as a ``Stat`` object — with its
 export tools (CSV, gnuplot) the paper built around its results database.
 """
 
-from repro.stats.export import mix_to_csv, to_csv, to_gnuplot
+from repro.stats.export import mix_to_csv, recovery_to_csv, to_csv, to_gnuplot
 from repro.stats.schema import build_stats_schema
 from repro.stats.store import StatRow, StatsDatabase
 
-__all__ = ["build_stats_schema", "StatsDatabase", "StatRow", "to_csv", "to_gnuplot", "mix_to_csv"]
+__all__ = [
+    "build_stats_schema",
+    "StatsDatabase",
+    "StatRow",
+    "to_csv",
+    "to_gnuplot",
+    "mix_to_csv",
+    "recovery_to_csv",
+]

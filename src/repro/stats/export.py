@@ -99,6 +99,42 @@ def mix_to_csv(report) -> str:
     return out.getvalue()
 
 
+_RECOVERY_COLUMNS = (
+    "label",
+    "crash_point",
+    "checkpoint_every",
+    "txns",
+    "updates",
+    "committed",
+    "lost",
+    "recovery_s",
+    "log_records_scanned",
+    "log_pages_read",
+    "pages_redone",
+    "records_redone",
+    "txns_undone",
+    "records_undone",
+    "durability_ok",
+)
+
+
+def recovery_to_csv(rows) -> str:
+    """Render recovery-run rows as CSV in the same spirit as the Figure 3
+    stats schema (duck-typed like :func:`mix_to_csv`: any object carrying
+    the column attributes works — missing attributes render empty)."""
+    out = io.StringIO()
+    out.write(",".join(_RECOVERY_COLUMNS) + "\n")
+    for row in rows:
+        values = [getattr(row, col, "") for col in _RECOVERY_COLUMNS]
+        out.write(
+            ",".join(
+                f"{v:.4f}" if isinstance(v, float) else str(v) for v in values
+            )
+            + "\n"
+        )
+    return out.getvalue()
+
+
 def to_gnuplot(
     rows: Sequence[StatRow],
     x: str = "selectivity",

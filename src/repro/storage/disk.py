@@ -18,7 +18,7 @@ from typing import Iterator, Protocol
 
 from repro.errors import StorageError
 from repro.simtime import Bucket, CostParams, CounterSet, SimClock
-from repro.storage.page import Page
+from repro.storage.page import Page, PageImage
 from repro.units import PAGE_SIZE
 
 
@@ -50,6 +50,16 @@ class DiskManager:
         self.page_size = page_size
         self._files: dict[int, list[Page]] = {}
         self._next_file_id = 0
+        #: The write-ahead log whose durability the WAL rule must respect
+        #: before writing a stamped page (set by a recovery-mode
+        #: :class:`~repro.txn.manager.TransactionManager`).
+        self.wal = None
+        #: Optional :class:`~repro.recovery.CrashInjector` hook.
+        self.injector = None
+        # What actually survives a crash.  Page objects are shared with
+        # the caches and mutated in place, so the content that is truly
+        # on disk is the image captured at the last write_page() call.
+        self._durable: dict[tuple[int, int], PageImage] = {}
 
     # -- file management ------------------------------------------------
 
@@ -89,11 +99,24 @@ class DiskManager:
         return page
 
     def write_page(self, file_id: int, page_no: int) -> None:
-        """Write one page back to disk: charges latency, counts the write."""
+        """Write one page back to disk: charges latency, counts the write.
+
+        Enforces the WAL rule first: the log record that last stamped
+        this page must be durable before the page version it produced
+        reaches disk, so a forced log flush may be charged here.
+        """
         page = self._page(file_id, page_no)
+        if self.wal is not None and page.page_lsn > self.wal.durable_lsn:
+            self.wal.forced_flushes += 1
+            self.wal.flush()
+        if self.injector is not None:
+            self.injector.on_page_write((file_id, page_no))
         page.dirty = False
         self.counters.disk_writes += 1
         self.clock.charge_ms(Bucket.IO, self.params.page_write_ms)
+        self._durable[(file_id, page_no)] = page.capture()
+        if self.wal is not None:
+            self.wal.note_page_written((file_id, page_no))
 
     # -- unaccounted access (loader bookkeeping, assertions, tests) -------
 
@@ -106,6 +129,37 @@ class DiskManager:
     def iter_pages(self, file_id: int) -> Iterator[Page]:
         """Iterate a file's pages without charging I/O (see peek_page)."""
         return iter(self._file(file_id))
+
+    # -- crash semantics (recovery) ----------------------------------------
+
+    def durable_image(self, file_id: int, page_no: int) -> PageImage | None:
+        """The image the disk actually holds for a page, or ``None`` if
+        the page was allocated but never written."""
+        return self._durable.get((file_id, page_no))
+
+    def crash(self) -> None:
+        """Lose everything volatile: every page reverts to the image of
+        its last :meth:`write_page`; pages that were allocated but never
+        written vanish (the file shrinks back to its durable tail).
+
+        No I/O is charged — a power cut is free.  Bookkeeping such as
+        file ids and page counts of *written* pages survives, exactly as
+        a real volume's metadata would.
+        """
+        durable_tail: dict[int, int] = {}
+        for file_id, page_no in self._durable:
+            tail = durable_tail.get(file_id, 0)
+            durable_tail[file_id] = max(tail, page_no + 1)
+        for file_id in self._files:
+            n = durable_tail.get(file_id, 0)
+            pages = []
+            for page_no in range(n):
+                page = Page(file_id, page_no, self.page_size)
+                image = self._durable.get((file_id, page_no))
+                if image is not None:
+                    page.restore(image)
+                pages.append(page)
+            self._files[file_id] = pages
 
     # -- internals ---------------------------------------------------------
 

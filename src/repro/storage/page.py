@@ -10,6 +10,8 @@ the expensive post-hoc re-indexing of Section 3.2 is modeled.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.errors import PageFullError, RecordNotFoundError, RecordTooLargeError
 from repro.storage.rid import Rid
 from repro.units import PAGE_SIZE
@@ -28,10 +30,38 @@ class _Forward:
         self.target = target
 
 
+@dataclass(frozen=True)
+class PageImage:
+    """An immutable snapshot of a page's logical content.
+
+    Slots hold ``bytes`` for live records, a :class:`Rid` for forwarding
+    entries and ``None`` for deleted slots — exactly the information a
+    physical log record needs to redo or undo a change.  ``page_lsn`` is
+    the stamp the page carried when the image was taken.
+    """
+
+    slots: tuple[bytes | Rid | None, ...]
+    used: int
+    page_lsn: int
+
+
+#: The image of a page that has never held a record (before-image of a
+#: freshly allocated page).
+EMPTY_PAGE_IMAGE = PageImage(slots=(), used=0, page_lsn=0)
+
+
 class Page:
     """One slotted page of a simulated file."""
 
-    __slots__ = ("file_id", "page_no", "_slots", "_used", "capacity", "dirty")
+    __slots__ = (
+        "file_id",
+        "page_no",
+        "_slots",
+        "_used",
+        "capacity",
+        "dirty",
+        "page_lsn",
+    )
 
     def __init__(self, file_id: int, page_no: int, page_size: int = PAGE_SIZE):
         if page_size <= PAGE_HEADER_SIZE:
@@ -42,6 +72,10 @@ class Page:
         self._used = 0
         self.capacity = page_size - PAGE_HEADER_SIZE
         self.dirty = False
+        #: LSN of the last log record whose change touched this page
+        #: (0 = never touched by a logged update).  The WAL rule compares
+        #: it against the log's durable LSN before a disk write.
+        self.page_lsn = 0
 
     # -- space accounting ---------------------------------------------
 
@@ -167,6 +201,63 @@ class Page:
     def slots(self) -> list[int]:
         """Slot numbers of live records, in slot order (creation order)."""
         return [i for i, s in enumerate(self._slots) if isinstance(s, bytes)]
+
+    # -- physical images (recovery) ------------------------------------
+
+    def capture(self) -> PageImage:
+        """Snapshot the page's logical content as an immutable image."""
+        return PageImage(
+            slots=tuple(
+                s.target if isinstance(s, _Forward) else s for s in self._slots
+            ),
+            used=self._used,
+            page_lsn=self.page_lsn,
+        )
+
+    def restore(self, image: PageImage) -> None:
+        """Overwrite the page's content with ``image`` (disk-crash
+        rollback to the durable version, or a redo of an after-image)."""
+        self._slots = [
+            _Forward(s) if isinstance(s, Rid) else s for s in image.slots
+        ]
+        self._used = image.used
+        self.page_lsn = image.page_lsn
+        self.dirty = False
+
+    def apply_undo(self, before: PageImage, after: PageImage) -> None:
+        """Revert only the slots that differ between ``before`` and
+        ``after``.
+
+        A full-page ``restore(before)`` would be unsound under
+        record-level locking: another transaction may have committed its
+        own update to a *different* slot of the same page since the
+        before-image was taken, and restoring the whole page would erase
+        that committed change.  Slot-diff undo touches exactly the slots
+        the logged change modified.
+        """
+        width = max(len(before.slots), len(after.slots))
+        for slot in range(width):
+            b = before.slots[slot] if slot < len(before.slots) else None
+            a = after.slots[slot] if slot < len(after.slots) else None
+            if b == a:
+                continue
+            while len(self._slots) <= slot:
+                self._slots.append(None)
+            self._slots[slot] = _Forward(b) if isinstance(b, Rid) else b
+        # An undone insert leaves a dead slot at the tail rather than
+        # shrinking the directory: slot numbers (and hence rids) are
+        # never reused, same as delete().
+        self._recompute_used()
+        self.dirty = True
+
+    def _recompute_used(self) -> None:
+        used = 0
+        for s in self._slots:
+            if isinstance(s, bytes):
+                used += len(s) + SLOT_OVERHEAD
+            elif isinstance(s, _Forward):
+                used += Rid.DISK_SIZE + SLOT_OVERHEAD
+        self._used = used
 
     # -- internals -----------------------------------------------------
 

@@ -8,14 +8,20 @@ Section 3.2 of the paper is a tour of exactly these mechanisms:
 * the *transaction-off* mode removes the log and the read/write locks,
   "allowing to load large databases faster" — used for loading only,
   never for measured queries.
+
+With ``TransactionManager(db, recovery=True)`` the WAL carries physical
+page images and :mod:`repro.recovery` can crash and restart the system,
+which is what makes the transaction-off trade-off demonstrable rather
+than merely priced.
 """
 
 from repro.txn.locks import LockManager, LockMode
-from repro.txn.log import WriteAheadLog
+from repro.txn.log import LogRecord, WriteAheadLog
 from repro.txn.manager import Transaction, TransactionManager
 
 __all__ = [
     "WriteAheadLog",
+    "LogRecord",
     "LockManager",
     "LockMode",
     "Transaction",

@@ -176,6 +176,11 @@ class LockManager:
             self._promote(rid)
         return released
 
+    def clear(self) -> None:
+        """Drop all lock state without promotion or charges — the lock
+        table is volatile and a simulated crash simply loses it."""
+        self._locks.clear()
+
     def cancel_wait(self, txn_id: int) -> None:
         """Remove every queued (ungranted) request of ``txn_id``."""
         for rid in list(self._locks):

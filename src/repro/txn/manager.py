@@ -10,6 +10,14 @@ stories revolve around (Section 3.2):
 * the *transaction-off* mode drops the log and the locks entirely, which
   is how large databases load fastest ("we used this mode only for
   loading, not for running our tests").
+
+With ``recovery=True`` the manager additionally makes those trade-offs
+*demonstrable*: logged transactions write physical records (page-level
+before/after images chained by ``prev_lsn``), aborts roll the pages back
+through compensation records, and :mod:`repro.recovery` can crash the
+system and restart it.  Transaction-off work writes nothing to the log,
+so after a crash it is simply gone — the durability half of the paper's
+loading trade-off.
 """
 
 from __future__ import annotations
@@ -17,9 +25,17 @@ from __future__ import annotations
 from repro.errors import TransactionMemoryError, TransactionStateError
 from repro.objects.database import Database
 from repro.simtime import Bucket
+from repro.storage.page import EMPTY_PAGE_IMAGE, PageImage
 from repro.storage.rid import Rid
 from repro.txn.locks import LockManager, LockMode
-from repro.txn.log import WriteAheadLog
+from repro.txn.log import (
+    ABORT_RECORD_BYTES,
+    BEGIN_RECORD_BYTES,
+    COMMIT_RECORD_BYTES,
+    UPDATE_HEADER_BYTES,
+    WriteAheadLog,
+    image_delta_bytes,
+)
 
 #: Objects one transaction may create before the simulated client memory
 #: is exhausted (the batch size the paper settled on).
@@ -36,6 +52,15 @@ class Transaction:
         self.logged = logged
         self.objects_created = 0
         self.state = "active"
+        #: LSN of this transaction's most recent log record (undo chain).
+        self.last_lsn = 0
+        #: Whether the commit record is known durable (ack returned).
+        self.durable = False
+        self._created: list[Rid] = []
+
+    @property
+    def _physical(self) -> bool:
+        return self.logged and self.manager.recovery
 
     # -- operations --------------------------------------------------------
 
@@ -56,6 +81,20 @@ class Transaction:
                 f"{self.objects_created} objects; commit before creating "
                 "more (the paper's 'out of memory')"
             )
+        if self._physical:
+            db = self.manager.db
+            sfile = db.file(file_name)
+            rid = self._physical_op(
+                "create",
+                self._tail_keys(sfile.file_id),
+                lambda: db.create_object(
+                    class_name, values, file_name, indexed, index_ids
+                ),
+            )
+            self._created.append(rid)
+            self.objects_created += 1
+            self.manager.locks.acquire(self.txn_id, rid, LockMode.EXCLUSIVE)
+            return rid
         rid = self.manager.db.create_object(
             class_name, values, file_name, indexed, index_ids
         )
@@ -65,6 +104,43 @@ class Transaction:
             self.manager.log.append(self.txn_id, "create", record_len)
             self.manager.locks.acquire(self.txn_id, rid, LockMode.EXCLUSIVE)
         return rid
+
+    def update_scalar(self, rid: Rid, attr_name: str, value: object) -> Rid:
+        """Write-lock ``rid`` and update one scalar attribute through the
+        object manager.  In recovery mode the touched pages' before and
+        after images are logged; otherwise only the legacy 8-byte cost
+        record is charged (identical to the historical Session path)."""
+        self._require_active()
+        if not self._physical:
+            self.write_lock(rid)
+            new_rid = self.manager.db.manager.update_scalar(rid, attr_name, value)
+            self.log_update(8)
+            return new_rid
+        self.manager.locks.acquire(self.txn_id, rid, LockMode.EXCLUSIVE)
+        db = self.manager.db
+        return self._physical_op(
+            "update",
+            self._update_keys(rid),
+            lambda: db.manager.update_scalar(rid, attr_name, value),
+        )
+
+    def update_set(self, rid: Rid, attr_name: str, value: object) -> Rid:
+        """Like :meth:`update_scalar` for set-valued attributes (these
+        can grow the record and move it to another page, so the physical
+        log may carry several page images)."""
+        self._require_active()
+        if not self._physical:
+            self.write_lock(rid)
+            new_rid = self.manager.db.manager.update_set(rid, attr_name, value)
+            self.log_update(16)
+            return new_rid
+        self.manager.locks.acquire(self.txn_id, rid, LockMode.EXCLUSIVE)
+        db = self.manager.db
+        return self._physical_op(
+            "update",
+            self._update_keys(rid),
+            lambda: db.manager.update_set(rid, attr_name, value),
+        )
 
     def read_lock(self, rid: Rid) -> None:
         self._require_active()
@@ -81,13 +157,129 @@ class Transaction:
         if self.logged:
             self.manager.log.append(self.txn_id, "update", nbytes)
 
+    # -- physical logging (recovery mode) -----------------------------------
+
+    def _tail_keys(self, file_id: int) -> set[tuple[int, int]]:
+        """Pages an append-at-tail insert may touch before it runs."""
+        n = self.manager.db.disk.num_pages(file_id)
+        return {(file_id, n - 1)} if n else set()
+
+    def _update_keys(self, rid: Rid) -> set[tuple[int, int]]:
+        """Pages an in-place update may touch: the rid's origin page,
+        the forwarding target (if the record already moved) and the
+        file's tail page (where a growing record would be reallocated)."""
+        db = self.manager.db
+        keys = {(rid.file_id, rid.page_no)}
+        page = db.disk.peek_page(rid.file_id, rid.page_no)
+        target = page.forward_target(rid.slot)
+        if target is not None:
+            keys.add((target.file_id, target.page_no))
+        keys |= self._tail_keys(rid.file_id)
+        return keys
+
+    def _physical_op(self, kind: str, pre_keys: set[tuple[int, int]], apply) -> Rid:
+        """Run ``apply`` and log one physical record per page it changed.
+
+        ``pre_keys`` are the pages the operation may touch; their images
+        are captured first (page access is uncharged here — the charged
+        reads happen inside ``apply`` through the normal pager path).
+
+        The capture/apply/log sequence must be atomic with respect to
+        the cooperative scheduler: a page fault inside ``apply`` would
+        otherwise yield to another session whose writes land between our
+        two captures and contaminate the images.  Locks are always taken
+        *before* this method, so suspending the fault-yield hook cannot
+        deadlock; the fault I/O itself is still charged.
+        """
+        db = self.manager.db
+        log = self.manager.log
+        saved_on_fault = db.system.on_fault
+        db.system.on_fault = None
+        try:
+            return self._physical_op_atomic(kind, pre_keys, apply, db, log)
+        finally:
+            db.system.on_fault = saved_on_fault
+
+    def _physical_op_atomic(self, kind, pre_keys, apply, db, log) -> Rid:
+        befores = {
+            key: db.disk.peek_page(*key).capture() for key in pre_keys
+        }
+        result_rid = apply()
+        keys = set(pre_keys)
+        keys.add((result_rid.file_id, result_rid.page_no))
+        for key in sorted(keys):
+            page = db.disk.peek_page(*key)
+            after = page.capture()
+            before = befores.get(key, EMPTY_PAGE_IMAGE)
+            if before == after:
+                continue
+            record = log.append(
+                self.txn_id,
+                kind,
+                UPDATE_HEADER_BYTES + image_delta_bytes(before, after),
+                prev_lsn=self.last_lsn,
+                page_key=key,
+                before=before,
+                after=after,
+            )
+            self.last_lsn = record.lsn
+            log.stamp(page, record)
+        return result_rid
+
+    def _rollback_physical(self) -> None:
+        """Undo this transaction's page changes, newest first, logging a
+        compensation (``clr``) record for each so a crash during or
+        after the rollback replays it rather than repeating it."""
+        db = self.manager.db
+        log = self.manager.log
+        compensated = {
+            r.undoes_lsn
+            for r in log.records
+            if r.txn_id == self.txn_id and r.kind == "clr"
+        }
+        mine = [
+            r
+            for r in log.records
+            if r.txn_id == self.txn_id
+            and r.kind in ("create", "update")
+            and r.lsn not in compensated
+        ]
+        for record in reversed(mine):
+            page = db.system.get_page(*record.page_key)
+            before = page.capture()
+            page.apply_undo(record.before, record.after)
+            clr = log.append(
+                self.txn_id,
+                "clr",
+                record.nbytes,
+                prev_lsn=self.last_lsn,
+                page_key=record.page_key,
+                before=before,
+                after=page.capture(),
+                undoes_lsn=record.lsn,
+            )
+            self.last_lsn = clr.lsn
+            log.stamp(page, clr)
+            db.system.mark_dirty(*record.page_key)
+            db.handles.forget_page(*record.page_key)
+            db.clock.charge_us(Bucket.LOG, db.params.log_apply_us)
+        for rid in self._created:
+            sfile = db.manager.file_for(rid)
+            sfile._record_count -= 1
+
     # -- completion ---------------------------------------------------------
 
     def commit(self) -> None:
         self._require_active()
         if self.logged:
-            self.manager.log.append(self.txn_id, "commit", 16)
+            self.manager.log.append(
+                self.txn_id,
+                "commit",
+                COMMIT_RECORD_BYTES,
+                prev_lsn=self.last_lsn,
+            )
             self.manager.log.flush()
+            self.durable = True
             self.manager.locks.release_all(self.txn_id)
         self.manager.db.clock.charge_ms(
             Bucket.LOG, self.manager.db.params.commit_ms
@@ -98,7 +290,14 @@ class Transaction:
     def abort(self) -> None:
         self._require_active()
         if self.logged:
-            self.manager.log.append(self.txn_id, "abort", 16)
+            if self.manager.recovery:
+                self._rollback_physical()
+            self.manager.log.append(
+                self.txn_id,
+                "abort",
+                ABORT_RECORD_BYTES,
+                prev_lsn=self.last_lsn,
+            )
             self.manager.locks.release_all(self.txn_id)
         self.state = "aborted"
         self.manager._on_finished(self)
@@ -122,19 +321,34 @@ class Transaction:
 
 
 class TransactionManager:
-    """Opens transactions against one database."""
+    """Opens transactions against one database.
 
-    def __init__(self, db: Database, object_budget: int = DEFAULT_OBJECT_BUDGET):
+    ``recovery=True`` switches logged transactions to physical logging
+    (page images, begin records, rollback on abort) and registers the
+    log with the disk so the WAL rule is enforced on page writes.  The
+    default stays the historical cost-only mode, whose charges are
+    byte-for-byte unchanged.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        object_budget: int = DEFAULT_OBJECT_BUDGET,
+        recovery: bool = False,
+    ):
         if object_budget < 1:
             raise ValueError("object budget must be >= 1")
         self.db = db
         self.object_budget = object_budget
+        self.recovery = recovery
         self.log = WriteAheadLog(db.clock, db.params)
         self.locks = LockManager(db.clock, db.params)
         self._next_txn_id = 1
         self._active: dict[int, Transaction] = {}
         self.committed = 0
         self.aborted = 0
+        if recovery:
+            db.disk.wal = self.log
 
     def begin(self, logged: bool = True) -> Transaction:
         """Open a transaction.  ``logged=False`` is the transaction-off
@@ -143,11 +357,27 @@ class TransactionManager:
         txn = Transaction(self, self._next_txn_id, logged)
         self._next_txn_id += 1
         self._active[txn.txn_id] = txn
+        if logged and self.recovery:
+            record = self.log.append(txn.txn_id, "begin", BEGIN_RECORD_BYTES)
+            txn.last_lsn = record.lsn
         return txn
 
     @property
     def active_count(self) -> int:
         return len(self._active)
+
+    def active_transactions(self) -> list[Transaction]:
+        """Open transactions, oldest first (checkpoint ATT source)."""
+        return [self._active[k] for k in sorted(self._active)]
+
+    def crash_volatile(self) -> None:
+        """A crash wiped the process: every open transaction simply
+        ceases to exist (restart will undo the losers from the log) and
+        all lock state evaporates."""
+        for txn in self._active.values():
+            txn.state = "crashed"
+        self._active.clear()
+        self.locks.clear()
 
     def _on_finished(self, txn: Transaction) -> None:
         self._active.pop(txn.txn_id, None)

@@ -49,13 +49,49 @@ class TestWriteAheadLog:
         assert log.pending_bytes == 0
 
     def test_flush_empty_is_free(self):
+        """A zero-pending flush must not charge any simulated I/O."""
         clock, log = self.make()
+        before = clock.elapsed_s
         assert log.flush() == 0
+        assert clock.elapsed_s == before
+        assert log.flushed_pages == 0
+        # Still free the second time (idempotent no-op).
+        assert log.flush() == 0
+        assert clock.elapsed_s == before
+
+    def test_flush_then_empty_flush_charges_nothing_more(self):
+        clock, log = self.make()
+        log.append(1, "create", 64)
+        log.flush()
+        after_first = clock.elapsed_s
+        assert log.flush() == 0
+        assert clock.elapsed_s == after_first
 
     def test_negative_payload_rejected(self):
         __, log = self.make()
         with pytest.raises(ValueError):
             log.append(1, "create", -1)
+
+    def test_pending_bytes_consistent_after_abort(self):
+        """After an abort the pending counter must equal exactly the
+        bytes of the still-unflushed records (the create + the abort
+        marker), and the next commit's flush must drain it to zero."""
+        db = make_db()
+        txm = TransactionManager(db)
+        txn = txm.begin()
+        txn.create_object("Thing", {"x": 1}, "things")
+        create_bytes = txm.log.pending_bytes
+        assert create_bytes > 0
+        txn.abort()
+        abort_bytes = txm.log.records[-1].nbytes
+        assert txm.log.records[-1].kind == "abort"
+        assert txm.log.pending_bytes == create_bytes + abort_bytes
+        # The next committed transaction flushes the whole backlog.
+        txn2 = txm.begin()
+        txn2.create_object("Thing", {"x": 2}, "things")
+        txn2.commit()
+        assert txm.log.pending_bytes == 0
+        assert txm.log.flush() == 0  # nothing left to write
 
 
 # ------------------------------------------------------------- locks
