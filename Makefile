@@ -1,4 +1,4 @@
-.PHONY: install test bench figures mix recover shell artifacts clean
+.PHONY: install test lint bench figures mix recover shell artifacts clean
 
 PYTHON ?= python
 # Run the package from the source tree; `make install` is optional.
@@ -9,6 +9,15 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# simlint (always available — stdlib only), then ruff/mypy when
+# installed; CI installs and runs both unconditionally.
+lint:
+	$(PYTHON) -m repro lint
+	@if command -v ruff >/dev/null 2>&1; then ruff check src; \
+	else echo "ruff not installed; skipped (CI runs it)"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+	else echo "mypy not installed; skipped (CI runs it)"; fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

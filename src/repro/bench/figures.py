@@ -48,14 +48,15 @@ def figure4_rids_vs_handles(
             derby.db.clock, derby.db.params, derby.db.counters, entry_bytes
         )
         for entry in derby.by_mrn.range_scan(None, k, include_high=False):
-            handle = om.load(entry.rid)
-            owner = om.get_attr(handle, "primary_care_provider")
             if payload == "Handles":
-                hash_table.insert(owner, handle)
                 # The handle stays referenced (pinned) inside the table.
+                handle = om.load(entry.rid)
+                owner = om.get_attr(handle, "primary_care_provider")
+                hash_table.insert(owner, handle)
             else:
+                with om.borrow(entry.rid) as handle:
+                    owner = om.get_attr(handle, "primary_care_provider")
                 hash_table.insert(owner, entry.rid)
-                om.unref(handle)
         # Use phase: touch every entry once (e.g. to build f(p, pa)).
         for key in list(hash_table._table):
             for item in hash_table.probe_all(key):

@@ -59,6 +59,7 @@ class BufferCache:
         """All dirty pages currently cached."""
         return [page for page in self._pages.values() if page.dirty]
 
+    # simlint: ok[CHARGE] dropping frames models no I/O; flushes are charged by callers
     def clear(self) -> None:
         """Drop everything (server shutdown / cold restart)."""
         self._pages.clear()

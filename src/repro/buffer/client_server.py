@@ -140,6 +140,7 @@ class ClientServerSystem:
         self.client_cache.clear()
         self.server_cache.clear()
 
+    # simlint: ok[CHARGE] deliberately uncharged: harness reset between runs
     def restart_cold(self) -> None:
         """Empty both tiers *without* charging flush I/O.
 
@@ -154,6 +155,7 @@ class ClientServerSystem:
         self.client_cache.clear()
         self.server_cache.clear()
 
+    # simlint: ok[CHARGE] a power failure costs nothing by definition
     def crash_volatile(self) -> None:
         """Both tiers vanish with the power: no write-back, no charges.
 

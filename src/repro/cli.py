@@ -25,6 +25,11 @@ Commands
     grid and exits nonzero on any recovery-contract violation.
 ``info``
     Print the cost model and memory budgets in use.
+``lint``
+    Run simlint, the AST invariant linter, over ``src/repro``: checks
+    determinism (DET), cost charging (CHARGE), the layering DAG
+    (LAYER), paired resource release (PAIR) and over-broad excepts
+    (EXC).  See ``docs/lint.md``.
 """
 
 from __future__ import annotations
@@ -501,6 +506,12 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 # ------------------------------------------------------------------ main
 
 def build_parser() -> argparse.ArgumentParser:
@@ -612,6 +623,16 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="print cost model and budgets")
     _add_db_options(info)
     info.set_defaults(func=cmd_info)
+
+    from repro.lint.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint",
+        help="run simlint, the invariant linter (determinism, cost "
+        "charging, layering, pairing, exceptions)",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -76,9 +76,8 @@ def register_new_patients(
         by_num.insert(num, rid)
 
         # Grow the provider's clients set (may relocate the provider).
-        handle = om.load(provider_rid)
-        clients = om.get_attr(handle, "clients")
-        om.unref(handle)
+        with om.borrow(provider_rid) as handle:
+            clients = om.get_attr(handle, "clients")
         members = list(db.iter_set_rids(clients))
         members.append(rid)
         new_provider_rid = om.update_set(

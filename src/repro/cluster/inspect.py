@@ -14,8 +14,10 @@ clock or counters (it is tooling, not workload).
 from __future__ import annotations
 
 import io
+import struct
 
 from repro.cluster.loader import DerbyDatabase
+from repro.errors import SchemaError
 from repro.objects.codec import InlineSet, OverflowSet
 from repro.objects.database import Database
 from repro.objects.header import ObjectHeader
@@ -72,7 +74,10 @@ def _describe_record(db: Database, record: bytes) -> str:
             ObjectHeader.peek_class_id(record),
             ObjectHeader.peek_schema_version(record),
         )
-    except Exception:
+    except (SchemaError, struct.error, IndexError):
+        # Not a decodable object record (free space, torn bytes): show
+        # it opaquely.  Anything else — aborts, lock errors — must
+        # propagate.
         return f"<{len(record)}-byte record>"
     codec = db.manager.codec(class_def)
     values = codec.decode(record)

@@ -101,17 +101,17 @@ def navigation_parent_to_child(q: TreeJoinQuery) -> list[tuple]:
     db, om = q.db, q.db.manager
     result = ResultBuilder(db, q.transactional_result)
     for entry in q.selected_parents():
-        parent = om.load(entry.rid)
-        parent_value = om.get_attr(parent, q.parent_project)
-        children = om.get_attr(parent, q.parent_set)
-        for child_rid in db.iter_set_rids(children):
-            child = om.load(child_rid)
-            key = om.get_attr(child, q.child_key)
-            db.clock.charge_us(Bucket.CPU, db.params.predicate_us)
-            if key < q.child_high:  # type: ignore[operator]
-                result.append((parent_value, om.get_attr(child, q.child_project)))
-            om.unref(child)
-        om.unref(parent)
+        with om.borrow(entry.rid) as parent:
+            parent_value = om.get_attr(parent, q.parent_project)
+            children = om.get_attr(parent, q.parent_set)
+            for child_rid in db.iter_set_rids(children):
+                with om.borrow(child_rid) as child:
+                    key = om.get_attr(child, q.child_key)
+                    db.clock.charge_us(Bucket.CPU, db.params.predicate_us)
+                    if key < q.child_high:  # type: ignore[operator]
+                        result.append(
+                            (parent_value, om.get_attr(child, q.child_project))
+                        )
     return result.rows
 
 
@@ -125,19 +125,17 @@ def navigation_child_to_parent(q: TreeJoinQuery) -> list[tuple]:
     db, om = q.db, q.db.manager
     result = ResultBuilder(db, q.transactional_result)
     for entry in q.selected_children():
-        child = om.load(entry.rid)
-        parent_rid = om.get_attr(child, q.child_ref)
-        if parent_rid is not None:
-            parent = om.load(parent_rid)
-            key = om.get_attr(parent, q.parent_key)
-            db.clock.charge_us(Bucket.CPU, db.params.predicate_us)
-            if key < q.parent_high:  # type: ignore[operator]
-                result.append(
-                    (om.get_attr(parent, q.parent_project),
-                     om.get_attr(child, q.child_project))
-                )
-            om.unref(parent)
-        om.unref(child)
+        with om.borrow(entry.rid) as child:
+            parent_rid = om.get_attr(child, q.child_ref)
+            if parent_rid is not None:
+                with om.borrow(parent_rid) as parent:
+                    key = om.get_attr(parent, q.parent_key)
+                    db.clock.charge_us(Bucket.CPU, db.params.predicate_us)
+                    if key < q.parent_high:  # type: ignore[operator]
+                        result.append(
+                            (om.get_attr(parent, q.parent_project),
+                             om.get_attr(child, q.child_project))
+                        )
     return result.rows
 
 
@@ -152,17 +150,15 @@ def hash_parents_join(q: TreeJoinQuery) -> list[tuple]:
         db.clock, db.params, db.counters, entry_bytes=phj_table_bytes(1)
     )
     for entry in q.selected_parents():
-        parent = om.load(entry.rid)
-        table.insert(entry.rid, om.get_attr(parent, q.parent_project))
-        om.unref(parent)
+        with om.borrow(entry.rid) as parent:
+            table.insert(entry.rid, om.get_attr(parent, q.parent_project))
     result = ResultBuilder(db, q.transactional_result)
     for entry in q.selected_children():
-        child = om.load(entry.rid)
-        parent_rid = om.get_attr(child, q.child_ref)
-        info = table.probe(parent_rid)
-        if info is not None:
-            result.append((info, om.get_attr(child, q.child_project)))
-        om.unref(child)
+        with om.borrow(entry.rid) as child:
+            parent_rid = om.get_attr(child, q.child_ref)
+            info = table.probe(parent_rid)
+            if info is not None:
+                result.append((info, om.get_attr(child, q.child_project)))
     return result.rows
 
 
@@ -184,19 +180,17 @@ def hash_children_join(q: TreeJoinQuery) -> list[tuple]:
         bucket_bytes=CHJ_BUCKET_BYTES,
     )
     for entry in q.selected_children():
-        child = om.load(entry.rid)
-        table.insert(
-            om.get_attr(child, q.child_ref),
-            om.get_attr(child, q.child_project),
-        )
-        om.unref(child)
+        with om.borrow(entry.rid) as child:
+            table.insert(
+                om.get_attr(child, q.child_ref),
+                om.get_attr(child, q.child_project),
+            )
     result = ResultBuilder(db, q.transactional_result)
     for entry in q.selected_parents():
         matches = table.probe_all(entry.rid)
         if matches:
-            parent = om.load(entry.rid)
-            parent_value = om.get_attr(parent, q.parent_project)
-            om.unref(parent)
+            with om.borrow(entry.rid) as parent:
+                parent_value = om.get_attr(parent, q.parent_project)
             for child_value in matches:
                 result.append((parent_value, child_value))
     return result.rows
@@ -214,11 +208,12 @@ def sort_merge_join(q: TreeJoinQuery) -> list[tuple]:
     db, om = q.db, q.db.manager
     child_pairs: list[tuple[Rid, object]] = []
     for entry in q.selected_children():
-        child = om.load(entry.rid)
-        parent_rid = om.get_attr(child, q.child_ref)
-        if parent_rid is not None:
-            child_pairs.append((parent_rid, om.get_attr(child, q.child_project)))
-        om.unref(child)
+        with om.borrow(entry.rid) as child:
+            parent_rid = om.get_attr(child, q.child_ref)
+            if parent_rid is not None:
+                child_pairs.append(
+                    (parent_rid, om.get_attr(child, q.child_project))
+                )
     child_pairs = sort_charged(
         child_pairs, db.clock, db.params, key=lambda p: p[0], bytes_per_item=16
     )
@@ -240,9 +235,8 @@ def sort_merge_join(q: TreeJoinQuery) -> list[tuple]:
             break
         if child_pairs[i][0] != parent_rid:
             continue
-        parent = om.load(parent_rid)
-        parent_value = om.get_attr(parent, q.parent_project)
-        om.unref(parent)
+        with om.borrow(parent_rid) as parent:
+            parent_value = om.get_attr(parent, q.parent_project)
         j = i
         while j < len(child_pairs) and child_pairs[j][0] == parent_rid:
             db.clock.charge_us(Bucket.CPU, db.params.compare_us)
@@ -266,9 +260,8 @@ def hybrid_hash_parents_join(q: TreeJoinQuery) -> list[tuple]:
 
     parents = []
     for entry in q.selected_parents():
-        parent = om.load(entry.rid)
-        parents.append((entry.rid, om.get_attr(parent, q.parent_project)))
-        om.unref(parent)
+        with om.borrow(entry.rid) as parent:
+            parents.append((entry.rid, om.get_attr(parent, q.parent_project)))
     table_bytes = phj_table_bytes(len(parents))
     spill_fraction = 0.0
     if budget and table_bytes > budget:
@@ -295,15 +288,14 @@ def hybrid_hash_parents_join(q: TreeJoinQuery) -> list[tuple]:
     result = ResultBuilder(db, q.transactional_result)
     probe_bytes = 0
     for entry in q.selected_children():
-        child = om.load(entry.rid)
-        parent_rid = om.get_attr(child, q.child_ref)
-        # A spill_fraction of probes lands in spilled partitions and is
-        # written/re-read with them.
-        probe_bytes += int(16 * spill_fraction)
-        info = table.probe(parent_rid)
-        if info is not None:
-            result.append((info, om.get_attr(child, q.child_project)))
-        om.unref(child)
+        with om.borrow(entry.rid) as child:
+            parent_rid = om.get_attr(child, q.child_ref)
+            # A spill_fraction of probes lands in spilled partitions and
+            # is written/re-read with them.
+            probe_bytes += int(16 * spill_fraction)
+            info = table.probe(parent_rid)
+            if info is not None:
+                result.append((info, om.get_attr(child, q.child_project)))
     spilled_probe_pages = pages_for_bytes(probe_bytes)
     for __ in range(spilled_probe_pages):
         db.clock.charge_ms(Bucket.IO, db.params.page_write_ms)

@@ -65,12 +65,11 @@ def select_scan(
     scanned = 0
     for rid in collection.iter_rids():
         scanned += 1
-        handle = om.load(rid)
-        value = om.get_attr(handle, attr)
-        db.clock.charge_us(Bucket.CPU, db.params.predicate_us)
-        if predicate(value):
-            result.append(om.get_attr(handle, project))
-        om.unref(handle)
+        with om.borrow(rid) as handle:
+            value = om.get_attr(handle, attr)
+            db.clock.charge_us(Bucket.CPU, db.params.predicate_us)
+            if predicate(value):
+                result.append(om.get_attr(handle, project))
     return SelectionResult(result.rows, scanned, len(result))
 
 
@@ -96,7 +95,6 @@ def select_indexed(
         rids = sort_charged(rids, db.clock, db.params)
     result = ResultBuilder(db, transactional)
     for rid in rids:
-        handle = om.load(rid)
-        result.append(om.get_attr(handle, project))
-        om.unref(handle)
+        with om.borrow(rid) as handle:
+            result.append(om.get_attr(handle, project))
     return SelectionResult(result.rows, len(rids), len(result))

@@ -1,0 +1,5 @@
+"""``python -m repro.lint`` — standalone entry point."""
+
+from repro.lint.cli import main
+
+raise SystemExit(main())

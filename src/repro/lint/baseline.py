@@ -1,0 +1,69 @@
+"""Baseline files: tolerate known findings, fail on new ones.
+
+A baseline maps finding fingerprints (line-number independent, see
+:class:`~repro.lint.findings.Finding`) to how many occurrences are
+tolerated.  The shipped repository has an **empty** baseline — every
+real violation was fixed or given an inline justified suppression —
+but the mechanism exists so the linter can be dropped onto a dirtier
+tree without going red on day one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Tolerated finding counts, keyed by fingerprint."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> Baseline:
+        counts: dict[str, int] = {}
+        for finding in findings:
+            counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: str | Path) -> Baseline:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        entries = data.get("entries", {})
+        return cls({str(k): int(v) for k, v in entries.items()})
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def filter(self, findings: list[Finding]) -> tuple[list[Finding], int]:
+        """(new findings, number baselined).  The first ``counts[fp]``
+        occurrences of each fingerprint are tolerated; extras are new."""
+        seen: dict[str, int] = {}
+        new: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            fp = finding.fingerprint
+            seen[fp] = seen.get(fp, 0) + 1
+            if seen[fp] <= self.counts.get(fp, 0):
+                baselined += 1
+            else:
+                new.append(finding)
+        return new, baselined

@@ -1,0 +1,132 @@
+"""Command-line front end: ``python -m repro lint`` / ``python -m repro.lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig, load_config
+from repro.lint.report import render_json, render_text
+from repro.lint.runner import lint_paths
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Mountable on a standalone parser or a ``repro`` subparser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: [tool.simlint] paths)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule subset, e.g. DET,LAYER (default: all configured)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline file to tolerate (overrides [tool.simlint] baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="write current findings to PATH as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject.toml; run with built-in defaults",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by inline ok[...] comments",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Shared implementation for both entry points."""
+    try:
+        config: LintConfig = (
+            LintConfig() if args.no_config else load_config(".")
+        )
+        if args.rules:
+            from repro.lint.rules import ALL_RULES
+
+            wanted = tuple(
+                rule.strip().upper() for rule in args.rules.split(",") if rule.strip()
+            )
+            unknown = [rule for rule in wanted if rule not in ALL_RULES]
+            if unknown:
+                print(
+                    f"simlint: unknown rule(s): {', '.join(unknown)}",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+            config = replace(config, select=wanted)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"simlint: bad configuration: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    result = lint_paths(tuple(args.paths) or None, config)
+
+    baseline_path = args.baseline or config.baseline
+    baselined = 0
+    findings = result.findings
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        print(
+            f"simlint: wrote baseline with {len(findings)} "
+            f"finding(s) to {args.write_baseline}"
+        )
+        return EXIT_CLEAN
+    if baseline_path:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except FileNotFoundError:
+            print(
+                f"simlint: baseline file not found: {baseline_path}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        except ValueError as exc:
+            print(f"simlint: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        findings, baselined = baseline.filter(findings)
+
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, result.files_checked, baselined), end="")
+    if args.format == "text":
+        print()
+        if args.show_suppressed and result.suppressed_findings:
+            print(f"-- {result.suppressed} suppressed --")
+            for finding in result.suppressed_findings:
+                print(f"{finding.render()}  [suppressed]")
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="AST invariant linter for the repro codebase "
+        "(determinism, cost charging, layering, pairing, exceptions)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

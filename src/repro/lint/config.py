@@ -1,0 +1,168 @@
+"""simlint configuration: defaults here, overrides in ``pyproject.toml``.
+
+Everything under ``[tool.simlint]`` maps onto :class:`LintConfig`; the
+shipped defaults describe *this* repository (its layer order, its
+charging idiom), so external callers and fixtures override them
+explicitly.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+#: The substrate layering of docs/architecture.md, lowest first.  A
+#: module in layer N may import layers < N (module-level imports only;
+#: ``if TYPE_CHECKING`` and function-scoped imports are exempt — see
+#: the LAYER rule).
+DEFAULT_LAYER_ORDER = (
+    "units",
+    "errors",
+    "simtime",
+    "storage",
+    "buffer",
+    "objects",
+    "index",
+    "txn",
+    "stats",
+    "derby",
+    "exec",
+    "cluster",
+    "oo7",
+    "oql",
+    "recovery",
+    "bench",
+    "service",
+    "analysis",
+    "lint",
+    "cli",
+    "__main__",
+)
+
+#: Packages whose functions must charge the clock/counters when they
+#: touch pages, handles or RPC paths (the CHARGE rule's scope).
+DEFAULT_CHARGE_PACKAGES = ("storage", "buffer", "exec", "objects")
+
+#: Calling a method with one of these names counts as touching a costed
+#: resource (page path, record path, handle path).
+DEFAULT_TOUCH_METHODS = (
+    "read_page",
+    "write_page",
+    "get_page",
+    "peek_page",
+    "iter_pages",
+    "mark_dirty",
+    "read_resolving",
+    "read_record",
+    "load",
+    "unref",
+    "unreference",
+    "_page",
+    "_file",
+)
+
+#: Reading or writing an attribute with one of these names counts as
+#: touching raw storage/handle state directly.
+DEFAULT_TOUCH_ATTRS = ("_durable", "_live", "_parked")
+
+#: The charging idiom: these calls (SimClock) or any assignment through
+#: an attribute chain containing ``counters`` (CounterSet) discharge the
+#: CHARGE obligation.
+DEFAULT_CHARGE_CALLS = ("charge_ms", "charge_us", "charge_s")
+DEFAULT_COUNTER_NAMES = ("counters",)
+
+#: (open, close) method-name pairs the PAIR rule tracks.
+DEFAULT_PAIRS = (
+    ("load", "unref"),
+    ("acquire", "release_all"),
+    ("pin", "unpin"),
+)
+
+#: Cleanup calls that must not be skippable by an earlier exception.
+DEFAULT_CLEANUP_CALLS = ("release_all",)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved simlint configuration."""
+
+    paths: tuple[str, ...] = ("src/repro",)
+    select: tuple[str, ...] = ("DET", "CHARGE", "LAYER", "PAIR", "EXC")
+    baseline: str | None = None
+    #: Root package whose first path component names the layer.
+    root_package: str = "repro"
+    layer_order: tuple[str, ...] = DEFAULT_LAYER_ORDER
+    #: Extra allowed upward edges, package -> importable packages.
+    layer_allow: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    charge_packages: tuple[str, ...] = DEFAULT_CHARGE_PACKAGES
+    charge_touch_methods: tuple[str, ...] = DEFAULT_TOUCH_METHODS
+    charge_touch_attrs: tuple[str, ...] = DEFAULT_TOUCH_ATTRS
+    charge_calls: tuple[str, ...] = DEFAULT_CHARGE_CALLS
+    counter_names: tuple[str, ...] = DEFAULT_COUNTER_NAMES
+    pair_pairs: tuple[tuple[str, str], ...] = DEFAULT_PAIRS
+    cleanup_calls: tuple[str, ...] = DEFAULT_CLEANUP_CALLS
+    #: Directory paths are made relative to; set by load_config.
+    root: str = "."
+
+
+def _tuple(value) -> tuple:
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    raise TypeError(f"expected a list, got {value!r}")
+
+
+def config_from_mapping(data: dict, root: str = ".") -> LintConfig:
+    """Build a config from a ``[tool.simlint]`` mapping."""
+    config = LintConfig(root=root)
+    simple = {
+        "paths": _tuple,
+        "select": _tuple,
+        "layer_order": _tuple,
+        "charge_packages": _tuple,
+        "charge_touch_methods": _tuple,
+        "charge_touch_attrs": _tuple,
+        "charge_calls": _tuple,
+        "counter_names": _tuple,
+        "cleanup_calls": _tuple,
+        "baseline": str,
+        "root_package": str,
+    }
+    updates: dict = {}
+    for key, convert in simple.items():
+        if key in data:
+            updates[key] = convert(data[key])
+    if "pair_pairs" in data:
+        updates["pair_pairs"] = tuple(
+            (str(open_name), str(close_name))
+            for open_name, close_name in data["pair_pairs"]
+        )
+    if "layer_allow" in data:
+        updates["layer_allow"] = {
+            str(k): _tuple(v) for k, v in data["layer_allow"].items()
+        }
+    return replace(config, **updates)
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(start: str | Path = ".") -> LintConfig:
+    """Load ``[tool.simlint]`` from the nearest pyproject.toml;
+    defaults when there is none."""
+    pyproject = find_pyproject(Path(start))
+    if pyproject is None:
+        return LintConfig()
+    with open(pyproject, "rb") as fh:
+        data = tomllib.load(fh)
+    section = data.get("tool", {}).get("simlint", {})
+    return config_from_mapping(section, root=str(pyproject.parent))

@@ -1,0 +1,34 @@
+"""What a rule reports: one :class:`Finding` per violation."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str      # rule name, e.g. "DET"
+    path: str      # path as given to the runner (repo-relative in CI)
+    line: int      # 1-based line of the offending statement
+    col: int       # 0-based column
+    message: str   # human explanation, specific to the site
+    symbol: str = ""  # enclosing function/import, for stable fingerprints
+
+    @property
+    def fingerprint(self) -> str:
+        """Identity that survives unrelated edits (no line numbers):
+        two findings with the same rule, file, enclosing symbol and
+        message are the same finding for baseline purposes."""
+        key = f"{self.rule}|{self.path}|{self.symbol}|{self.message}"
+        return hashlib.sha1(key.encode()).hexdigest()[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable report order: by file, then line, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

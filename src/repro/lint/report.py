@@ -1,0 +1,44 @@
+"""Reporters: plain text for humans, JSON for tooling."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import Finding
+
+
+def render_text(
+    findings: list[Finding], files_checked: int, baselined: int = 0
+) -> str:
+    """One finding per line, compiler style, plus a summary line."""
+    lines = [finding.render() for finding in findings]
+    summary = (
+        f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+        f"in {files_checked} file{'s' if files_checked != 1 else ''}"
+    )
+    if baselined:
+        summary += f" ({baselined} baselined)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: list[Finding], files_checked: int, baselined: int = 0
+) -> str:
+    payload = {
+        "files_checked": files_checked,
+        "baselined": baselined,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "symbol": f.symbol,
+                "fingerprint": f.fingerprint,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -1,0 +1,18 @@
+"""The rule registry.
+
+Every rule is a module exposing ``NAME`` (the code that appears in
+findings and suppressions) and ``check(project, config)`` returning a
+list of :class:`~repro.lint.findings.Finding`.  Rules never see
+suppressions or baselines — the runner filters their output.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import charge, det, exc, layer, pair
+
+#: name -> rule module, in report-priority order.
+ALL_RULES = {
+    module.NAME: module for module in (det, charge, layer, pair, exc)
+}
+
+__all__ = ["ALL_RULES"]

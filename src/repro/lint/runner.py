@@ -1,0 +1,55 @@
+"""The runner: files → project → rules → suppression-filtered findings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.project import build_project, iter_python_files
+
+
+@dataclass
+class LintResult:
+    """Everything a reporter or exit-code decision needs."""
+
+    findings: list[Finding]           # post-suppression, sorted
+    files_checked: int
+    suppressed: int = 0
+    #: findings whose inline suppression matched, for --show-suppressed.
+    suppressed_findings: list[Finding] = field(default_factory=list)
+
+
+def lint_paths(
+    paths: tuple[str, ...] | None = None,
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Run the selected rules over the configured (or given) paths."""
+    from repro.lint.rules import ALL_RULES
+
+    config = config or LintConfig()
+    target_paths = tuple(paths) if paths else config.paths
+    files = iter_python_files(target_paths, config.root)
+    project, syntax_findings = build_project(files, config)
+
+    selected = [name for name in config.select if name in ALL_RULES]
+    raw: list[Finding] = list(syntax_findings)
+    for name in selected:
+        raw.extend(ALL_RULES[name].check(project, config))
+
+    modules_by_path = {module.path: module for module in project.modules}
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in raw:
+        module = modules_by_path.get(finding.path)
+        if module is not None and module.is_suppressed(finding.rule, finding.line):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+
+    return LintResult(
+        findings=sort_findings(kept),
+        files_checked=len(files),
+        suppressed=len(suppressed),
+        suppressed_findings=sort_findings(suppressed),
+    )

@@ -195,11 +195,13 @@ class HandleTable:
     def memory_bytes(self) -> int:
         return (len(self._live) + len(self._parked)) * FULL_HANDLE_BYTES
 
+    # simlint: ok[CHARGE] restart discard models no O2 cost; reloads pay on next access
     def clear(self) -> None:
         """Forget every handle (client restart)."""
         self._live.clear()
         self._parked.clear()
 
+    # simlint: ok[CHARGE] invalidation is free (see docstring); the reload pays
     def forget_page(self, file_id: int, page_no: int) -> None:
         """Drop cached handles for records living on one page — used when
         the page's content was physically rolled back, so any cached

@@ -9,6 +9,9 @@ strings and complex values (Section 4.4).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Iterator
+
 from repro.errors import DanglingReferenceError, ObjectError
 from repro.objects.codec import InlineSet, OverflowSet, RecordCodec
 from repro.objects.handle import Handle, HandleTable
@@ -74,6 +77,19 @@ class ObjectManager:
     def unref(self, handle: Handle) -> None:
         """"unreference h" in Figure 8."""
         self.handles.unreference(handle)
+
+    @contextmanager
+    def borrow(self, rid: Rid) -> Iterator[Handle]:
+        """``load`` + guaranteed ``unref``: the exception-safe form of
+        Figure 8's get-handle/unreference bracket.  Charges exactly what
+        the load/unref pair charges; exists so a predicate or projection
+        raising mid-bracket (transaction abort, injected crash) cannot
+        leak the handle and pin its page frame."""
+        handle = self.load(rid)
+        try:
+            yield handle
+        finally:
+            self.unref(handle)
 
     # -- attribute access -------------------------------------------------------
 

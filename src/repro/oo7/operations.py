@@ -54,10 +54,9 @@ def _traverse(oo7: OO7Database, full: bool) -> TraversalResult:
                 continue
             seen.add(rid)
             count += 1
-            handle = om.load(rid)
-            __ = om.get_attr(handle, "x")  # the op "does work" per part
-            connections = om.get_attr(handle, "conn_out")
-            om.unref(handle)
+            with om.borrow(rid) as handle:
+                __ = om.get_attr(handle, "x")  # the op "does work" per part
+                connections = om.get_attr(handle, "conn_out")
             stack.extend(
                 r for r in db.iter_set_rids(connections) if r not in seen
             )
@@ -66,32 +65,31 @@ def _traverse(oo7: OO7Database, full: bool) -> TraversalResult:
     def visit_assembly(rid) -> None:
         nonlocal visited_atomic, visited_assemblies
         visited_assemblies += 1
-        handle = om.load(rid)
-        name = _class_name(handle)
+        # The handle is released before recursing so the number of live
+        # handles stays bounded by one per tree level, as before.
+        with om.borrow(rid) as handle:
+            name = _class_name(handle)
+            if name == COMPLEX_ASSEMBLY_CLASS:
+                members = om.get_attr(handle, "subassemblies")
+            else:
+                assert name == BASE_ASSEMBLY_CLASS
+                members = om.get_attr(handle, "components")
         if name == COMPLEX_ASSEMBLY_CLASS:
-            children = om.get_attr(handle, "subassemblies")
-            om.unref(handle)
-            for child in db.iter_set_rids(children):
+            for child in db.iter_set_rids(members):
                 visit_assembly(child)
             return
-        assert name == BASE_ASSEMBLY_CLASS
-        components = om.get_attr(handle, "components")
-        om.unref(handle)
-        for part_rid in db.iter_set_rids(components):
-            part = om.load(part_rid)
-            root = om.get_attr(part, "root_part")
-            om.unref(part)
+        for part_rid in db.iter_set_rids(members):
+            with om.borrow(part_rid) as part:
+                root = om.get_attr(part, "root_part")
             if full:
                 visited_atomic += visit_atomic_graph(root)
             else:
-                root_handle = om.load(root)
-                __ = om.get_attr(root_handle, "x")
-                om.unref(root_handle)
+                with om.borrow(root) as root_handle:
+                    __ = om.get_attr(root_handle, "x")
                 visited_atomic += 1
 
-    module = om.load(oo7.module_rid)
-    assemblies = om.get_attr(module, "assemblies")
-    om.unref(module)
+    with om.borrow(oo7.module_rid) as module:
+        assemblies = om.get_attr(module, "assemblies")
     start_reads = db.counters.disk_reads
     for rid in db.iter_set_rids(assemblies):
         visit_assembly(rid)
@@ -124,25 +122,23 @@ def traversal_t2(oo7: OO7Database, variant: str = "a") -> TraversalResult:
 
     def update_part(rid) -> None:
         nonlocal updated
-        handle = om.load(rid)
-        x = om.get_attr(handle, "x")
-        y = om.get_attr(handle, "y")
-        om.unref(handle)
+        with om.borrow(rid) as handle:
+            x = om.get_attr(handle, "x")
+            y = om.get_attr(handle, "y")
         om.update_scalar(rid, "x", y)
         om.update_scalar(rid, "y", x)
         updated += 1
 
     start_reads = db.counters.disk_reads
     for part_rid in oo7.composite_parts.iter_rids():
-        part = om.load(part_rid)
+        with om.borrow(part_rid) as part:
+            target = om.get_attr(
+                part, "root_part" if variant == "a" else "parts"
+            )
         if variant == "a":
-            root = om.get_attr(part, "root_part")
-            om.unref(part)
-            update_part(root)
+            update_part(target)
         else:
-            parts = om.get_attr(part, "parts")
-            om.unref(part)
-            for rid in db.iter_set_rids(parts):
+            for rid in db.iter_set_rids(target):
                 update_part(rid)
     return TraversalResult(
         visited_atomic=updated,

@@ -91,21 +91,20 @@ class OQLEngine:
         result = ResultBuilder(db)
         keyed: list[tuple[tuple, object]] = []
         for rid in rid_source:
-            handle = om.load(rid)
-            if self._passes(om, handle, plan.residuals) and self._passes_exists(
-                om, handle, plan.exists_filters
-            ):
-                values = {
-                    attr: om.get_attr(handle, attr) for attr in fetch_attrs
-                }
-                row = tuple(values[attr] for attr in plan.project)
-                out = row if len(plan.project) > 1 else row[0]
-                result.append(out)
-                if sort_attrs:
-                    keyed.append(
-                        (tuple(values[attr] for attr in sort_attrs), out)
-                    )
-            om.unref(handle)
+            with om.borrow(rid) as handle:
+                if self._passes(om, handle, plan.residuals) and self._passes_exists(
+                    om, handle, plan.exists_filters
+                ):
+                    values = {
+                        attr: om.get_attr(handle, attr) for attr in fetch_attrs
+                    }
+                    row = tuple(values[attr] for attr in plan.project)
+                    out = row if len(plan.project) > 1 else row[0]
+                    result.append(out)
+                    if sort_attrs:
+                        keyed.append(
+                            (tuple(values[attr] for attr in sort_attrs), out)
+                        )
         if not plan.order_by:
             return result.rows
         return self._apply_order(plan, keyed)
@@ -159,17 +158,16 @@ class OQLEngine:
         lo: object | None = None
         hi: object | None = None
         for rid in rid_source:
-            handle = om.load(rid)
-            if self._passes(om, handle, plan.residuals) and self._passes_exists(
-                om, handle, plan.exists_filters
-            ):
-                count += 1
-                if func != "count":
-                    value = om.get_attr(handle, attr)  # type: ignore[arg-type]
-                    total += value  # type: ignore[operator]
-                    lo = value if lo is None or value < lo else lo  # type: ignore[operator]
-                    hi = value if hi is None or value > hi else hi  # type: ignore[operator]
-            om.unref(handle)
+            with om.borrow(rid) as handle:
+                if self._passes(om, handle, plan.residuals) and self._passes_exists(
+                    om, handle, plan.exists_filters
+                ):
+                    count += 1
+                    if func != "count":
+                        value = om.get_attr(handle, attr)  # type: ignore[arg-type]
+                        total += value  # type: ignore[operator]
+                        lo = value if lo is None or value < lo else lo  # type: ignore[operator]
+                        hi = value if hi is None or value > hi else hi  # type: ignore[operator]
         return _finish_aggregate(func, count, total, lo, hi)
 
     def _passes(self, om, handle, predicates: tuple[SargablePredicate, ...]) -> bool:
@@ -189,9 +187,8 @@ class OQLEngine:
             set_value = om.get_attr(handle, filt.set_attr)
             matched = False
             for child_rid in db.iter_set_rids(set_value):
-                child = om.load(child_rid)
-                ok = self._passes(om, child, (filt.child_pred,))
-                om.unref(child)
+                with om.borrow(child_rid) as child:
+                    ok = self._passes(om, child, (filt.child_pred,))
                 if ok:
                     matched = True
                     break

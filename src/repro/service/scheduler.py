@@ -137,6 +137,11 @@ class CooperativeScheduler:
                 self._cv.wait()
         try:
             task.result = task.fn()
+        # The trampoline boundary: a session's failure (abort, deadlock,
+        # injected crash) is the *result* of its task; the workload
+        # driver re-raises ``task.error``, so capturing here is delivery,
+        # not swallowing.
+        # simlint: ok[EXC] task errors are captured and re-raised by the driver
         except BaseException as exc:  # noqa: BLE001 - reported via .error
             task.error = exc
         finally:

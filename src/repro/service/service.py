@@ -151,10 +151,8 @@ class Session:
         """Load an object (through this session's handle table) and read
         one attribute, paying the usual handle traffic."""
         om = self.service.db.manager
-        handle = om.load(rid)
-        value = om.get_attr(handle, attr)
-        om.unref(handle)
-        return value
+        with om.borrow(rid) as handle:
+            return om.get_attr(handle, attr)
 
     def pause(self) -> None:
         """Voluntarily yield to the other sessions ("think time")."""

@@ -21,7 +21,7 @@ the same commits, aborts, deadlocks and simulated times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from random import Random
 from typing import TYPE_CHECKING
 

@@ -80,8 +80,13 @@ class SimClock:
         return dict(self._buckets)
 
     def since(self, earlier: dict[Bucket, float]) -> dict[Bucket, float]:
-        """Per-bucket difference between now and a prior :meth:`snapshot`."""
+        """Per-bucket difference between now and a prior :meth:`snapshot`.
+
+        Buckets are emitted in name order: this dict flows into Stat
+        rows and reports, so its iteration order must not depend on set
+        hashing."""
+        buckets = sorted(set(self._buckets) | set(earlier), key=lambda b: b.value)
         return {
             bucket: self._buckets.get(bucket, 0.0) - earlier.get(bucket, 0.0)
-            for bucket in set(self._buckets) | set(earlier)
+            for bucket in buckets
         }

@@ -25,7 +25,7 @@ from __future__ import annotations
 from repro.errors import TransactionMemoryError, TransactionStateError
 from repro.objects.database import Database
 from repro.simtime import Bucket
-from repro.storage.page import EMPTY_PAGE_IMAGE, PageImage
+from repro.storage.page import EMPTY_PAGE_IMAGE
 from repro.storage.rid import Rid
 from repro.txn.locks import LockManager, LockMode
 from repro.txn.log import (
@@ -280,6 +280,11 @@ class Transaction:
             )
             self.manager.log.flush()
             self.durable = True
+            # Strict 2PL: locks may only drop once the commit record is
+            # durable, so this must NOT move into a finally around
+            # flush() — if the flush fails the locks have to stay held
+            # (a crash clears the volatile lock table anyway).
+            # simlint: ok[PAIR] locks must outlive an un-flushed commit record
             self.manager.locks.release_all(self.txn_id)
         self.manager.db.clock.charge_ms(
             Bucket.LOG, self.manager.db.params.commit_ms
@@ -290,15 +295,21 @@ class Transaction:
     def abort(self) -> None:
         self._require_active()
         if self.logged:
-            if self.manager.recovery:
-                self._rollback_physical()
-            self.manager.log.append(
-                self.txn_id,
-                "abort",
-                ABORT_RECORD_BYTES,
-                prev_lsn=self.last_lsn,
-            )
-            self.manager.locks.release_all(self.txn_id)
+            try:
+                if self.manager.recovery:
+                    self._rollback_physical()
+                self.manager.log.append(
+                    self.txn_id,
+                    "abort",
+                    ABORT_RECORD_BYTES,
+                    prev_lsn=self.last_lsn,
+                )
+            finally:
+                # Unlike commit, abort must shed its locks even when the
+                # rollback itself fails (e.g. an injected crash point):
+                # a dead transaction holding locks deadlocks every later
+                # client that touches the same pages.
+                self.manager.locks.release_all(self.txn_id)
         self.state = "aborted"
         self.manager._on_finished(self)
 

@@ -1,0 +1,14 @@
+"""Fixture: no violations at all."""
+
+from random import Random
+
+
+def shuffled(items: list, seed: int) -> list:
+    rng = Random(seed)
+    out = list(items)
+    rng.shuffle(out)
+    return out
+
+
+def ordered(names: set) -> list:
+    return sorted(names)

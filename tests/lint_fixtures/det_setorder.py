@@ -1,0 +1,8 @@
+"""Fixture: exactly one DET violation — iterating a set into output."""
+
+
+def bucket_names(buckets: dict, earlier: dict) -> list:
+    out = []
+    for name in set(buckets) | set(earlier):  # the violation
+        out.append(name)
+    return out

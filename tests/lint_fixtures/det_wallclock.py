@@ -1,0 +1,7 @@
+"""Fixture: exactly one DET violation — wall-clock time."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # the violation

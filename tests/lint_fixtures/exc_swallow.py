@@ -1,0 +1,16 @@
+"""Fixture: exactly one EXC violation — a swallowing broad except."""
+
+
+def try_decode(record: bytes) -> str:
+    try:
+        return record.decode("utf-8")
+    except Exception:  # the violation: no re-raise
+        return "?"
+
+
+def cleanup_then_reraise(resource):
+    try:
+        return resource.use()
+    except BaseException:  # fine: re-raises
+        resource.cancel()
+        raise

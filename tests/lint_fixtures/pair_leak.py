@@ -1,0 +1,16 @@
+"""Fixture: exactly one PAIR violation — load/unref not exception-safe."""
+
+
+def read_attr(om, rid, attr):
+    handle = om.load(rid)  # the violation: get_attr below can raise
+    value = om.get_attr(handle, attr)
+    om.unref(handle)
+    return value
+
+
+def read_attr_safely(om, rid, attr):
+    handle = om.load(rid)
+    try:
+        return om.get_attr(handle, attr)
+    finally:
+        om.unref(handle)

@@ -1,0 +1,7 @@
+"""Fixture: exactly one LAYER violation — storage importing exec."""
+
+from repro.exec.joins import hash_parents_join  # the violation
+
+
+def delegate(q):
+    return hash_parents_join(q)

@@ -1,0 +1,15 @@
+"""Fixture: exactly one CHARGE violation — a page touch with no charge."""
+
+
+def uncharged_read(disk, file_id: int, page_no: int):
+    return disk.read_page(file_id, page_no)  # touches, never charges
+
+
+def charged_read(disk, clock, bucket, ms, file_id: int, page_no: int):
+    clock.charge_ms(bucket, ms)
+    return disk.read_page(file_id, page_no)
+
+
+def _private_helper(disk, file_id: int, page_no: int):
+    # private: the obligation belongs to public callers
+    return disk.read_page(file_id, page_no)

@@ -1,0 +1,12 @@
+"""Fixture: a DET violation silenced by an inline suppression."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # simlint: ok[DET] fixture: suppression on the finding line
+
+
+def stamp_above() -> float:
+    # simlint: ok[DET] fixture: suppression on the line above
+    return time.time()

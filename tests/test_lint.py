@@ -1,0 +1,237 @@
+"""simlint: fixtures trigger each rule, suppressions and baselines work,
+and — the point of the whole exercise — ``src/repro`` is clean under the
+shipped configuration."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, Finding, LintConfig, lint_paths, load_config
+from repro.lint.cli import main as lint_main
+from repro.lint.config import config_from_mapping
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def lint_fixture(name: str, select: tuple[str, ...]) -> list[Finding]:
+    config = LintConfig(select=select)
+    return lint_paths((str(FIXTURES / name),), config).findings
+
+
+# -- one known violation per rule ------------------------------------------
+
+
+def test_det_flags_wall_clock():
+    findings = lint_fixture("det_wallclock.py", ("DET",))
+    assert [f.rule for f in findings] == ["DET"]
+    assert findings[0].line == 7
+    assert "SimClock" in findings[0].message
+
+
+def test_det_flags_set_iteration():
+    findings = lint_fixture("det_setorder.py", ("DET",))
+    assert [f.rule for f in findings] == ["DET"]
+    assert findings[0].line == 6
+    assert "sorted()" in findings[0].message
+
+
+def test_pair_flags_unguarded_release():
+    findings = lint_fixture("pair_leak.py", ("PAIR",))
+    assert [f.rule for f in findings] == ["PAIR"]
+    assert findings[0].line == 5
+    assert "try/finally" in findings[0].message
+    assert findings[0].symbol.endswith("read_attr")  # not read_attr_safely
+
+
+def test_exc_flags_swallowing_broad_except():
+    findings = lint_fixture("exc_swallow.py", ("EXC",))
+    assert [f.rule for f in findings] == ["EXC"]
+    assert findings[0].line == 7  # the re-raising handler is not flagged
+
+
+def test_charge_flags_uncharged_page_touch():
+    findings = lint_fixture("repro/storage/uncharged_read.py", ("CHARGE",))
+    assert [f.rule for f in findings] == ["CHARGE"]
+    assert "uncharged_read" in findings[0].message
+    # charged_read reaches charge_ms; _private_helper is out of scope
+    assert len(findings) == 1
+
+
+def test_layer_flags_upward_import():
+    findings = lint_fixture("repro/storage/imports_upward.py", ("LAYER",))
+    assert [f.rule for f in findings] == ["LAYER"]
+    assert "'storage'" in findings[0].message
+    assert "'exec'" in findings[0].message
+
+
+def test_clean_fixture_is_clean():
+    assert lint_fixture("clean.py", ("DET", "CHARGE", "LAYER", "PAIR", "EXC")) == []
+
+
+# -- suppressions -----------------------------------------------------------
+
+
+def test_suppression_on_line_and_line_above():
+    config = LintConfig(select=("DET",))
+    result = lint_paths((str(FIXTURES / "suppressed_det.py"),), config)
+    assert result.findings == []
+    assert result.suppressed == 2
+    assert [f.rule for f in result.suppressed_findings] == ["DET", "DET"]
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    source = FIXTURES.joinpath("det_wallclock.py").read_text()
+    bad = tmp_path / "wrong_rule.py"
+    bad.write_text(source.replace("# the violation", "# simlint: ok[PAIR] wrong rule"))
+    config = LintConfig(select=("DET",))
+    result = lint_paths((str(bad),), config)
+    assert [f.rule for f in result.findings] == ["DET"]
+
+
+def test_wildcard_suppression(tmp_path):
+    source = FIXTURES.joinpath("det_wallclock.py").read_text()
+    bad = tmp_path / "wildcard.py"
+    bad.write_text(source.replace("# the violation", "# simlint: ok[*] anything goes"))
+    config = LintConfig(select=("DET",))
+    assert lint_paths((str(bad),), config).findings == []
+
+
+# -- baseline round-trip ----------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = lint_fixture("det_wallclock.py", ("DET",))
+    assert findings
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(path)
+
+    loaded = Baseline.load(path)
+    new, baselined = loaded.filter(findings)
+    assert new == []
+    assert baselined == len(findings)
+
+    # a different finding is NOT covered
+    other = lint_fixture("det_setorder.py", ("DET",))
+    new, baselined = loaded.filter(other)
+    assert new == other
+    assert baselined == 0
+
+
+def test_baseline_counts_cap_occurrences():
+    finding = lint_fixture("det_wallclock.py", ("DET",))[0]
+    baseline = Baseline.from_findings([finding])
+    new, baselined = baseline.filter([finding, finding])
+    assert baselined == 1
+    assert new == [finding]
+
+
+def test_fingerprint_ignores_line_numbers():
+    a = Finding("DET", "x.py", 10, 0, "msg", symbol="m:f")
+    b = Finding("DET", "x.py", 99, 4, "msg", symbol="m:f")
+    c = Finding("DET", "x.py", 10, 0, "other msg", symbol="m:f")
+    assert a.fingerprint == b.fingerprint
+    assert a.fingerprint != c.fingerprint
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": {}}))
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+# -- configuration ----------------------------------------------------------
+
+
+def test_config_from_mapping_overrides():
+    config = config_from_mapping(
+        {
+            "paths": ["src/other"],
+            "select": ["DET"],
+            "layer_allow": {"storage": ["exec"]},
+            "pair_pairs": [["open", "close"]],
+        },
+        root="/somewhere",
+    )
+    assert config.paths == ("src/other",)
+    assert config.select == ("DET",)
+    assert config.layer_allow == {"storage": ("exec",)}
+    assert config.pair_pairs == (("open", "close"),)
+    assert config.root == "/somewhere"
+
+
+def test_layer_allow_grants_upward_edge():
+    config = LintConfig(select=("LAYER",), layer_allow={"storage": ("exec",)})
+    findings = lint_paths(
+        (str(FIXTURES / "repro/storage/imports_upward.py"),), config
+    ).findings
+    assert findings == []
+
+
+# -- command line -----------------------------------------------------------
+
+
+def test_cli_exits_nonzero_on_fixtures(capsys):
+    code = lint_main(["--no-config", str(FIXTURES)])
+    out = capsys.readouterr().out
+    assert code == 1
+    for rule in ("DET", "CHARGE", "LAYER", "PAIR", "EXC"):
+        assert rule in out
+
+
+def test_cli_exits_zero_on_clean_file(capsys):
+    assert lint_main(["--no-config", str(FIXTURES / "clean.py")]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_json_format(capsys):
+    code = lint_main(
+        ["--no-config", "--format", "json", str(FIXTURES / "det_wallclock.py")]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert [f["rule"] for f in payload["findings"]] == ["DET"]
+    assert payload["findings"][0]["fingerprint"]
+
+
+def test_cli_unknown_rule_is_usage_error(capsys):
+    code = lint_main(["--no-config", "--rules", "NOPE", str(FIXTURES / "clean.py")])
+    assert code == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_rules_subset(capsys):
+    code = lint_main(
+        ["--no-config", "--rules", "EXC", str(FIXTURES / "det_wallclock.py")]
+    )
+    assert code == 0
+
+
+def test_cli_write_and_use_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    target = str(FIXTURES / "det_wallclock.py")
+    assert lint_main(["--no-config", "--write-baseline", str(baseline), target]) == 0
+    capsys.readouterr()
+    code = lint_main(["--no-config", "--baseline", str(baseline), target])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "baselined" in out
+
+
+# -- the meta-test: this repository is clean --------------------------------
+
+
+def test_src_repro_is_clean_under_shipped_config():
+    config = load_config(REPO_ROOT)
+    assert config.paths == ("src/repro",)
+    assert config.baseline is None, "the tree must stay baseline-free"
+    result = lint_paths(None, config)
+    assert result.findings == [], "\n".join(
+        f.render() for f in result.findings
+    )
+    assert result.files_checked > 90
