@@ -1,4 +1,4 @@
-.PHONY: install test lint bench figures mix recover shell artifacts clean
+.PHONY: install test lint bench figures mix pipeline recover shell artifacts clean
 
 PYTHON ?= python
 # Run the package from the source tree; `make install` is optional.
@@ -29,6 +29,11 @@ figures:
 # Multi-client workload mix through the query service.
 mix:
 	$(PYTHON) -m repro mix --clients 8
+
+# Batch-size sweep over the operator pipeline (TTFR, peak rows,
+# limit early exit, mix interleaving) -> results/pipeline_batch_sweep.txt.
+pipeline:
+	$(PYTHON) benchmarks/bench_pipeline.py
 
 # Crash-recovery fuzz: 40 seeds x 5 crash points = 200 cases, each
 # double-run for determinism; exits nonzero on any contract violation.

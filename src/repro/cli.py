@@ -314,6 +314,7 @@ def cmd_mix(args: argparse.Namespace) -> int:
         ops_per_client=args.ops,
         seed=args.seed,
         lock_timeout_s=args.lock_timeout,
+        batch_size=args.batch_size,
     )
     config = _make_config(args)
     print(f"loading {config.n_providers} providers / "
@@ -558,6 +559,9 @@ def build_parser() -> argparse.ArgumentParser:
     mix.add_argument("--ops", type=int, default=4,
                      help="operations (transactions) per client")
     mix.add_argument("--seed", type=int, default=1)
+    mix.add_argument("--batch-size", type=int, default=None,
+                     help="rows per operator batch for every session's "
+                          "queries (default: engine default)")
     mix.add_argument("--lock-timeout", type=float, default=None,
                      help="lock wait bound in simulated seconds "
                      "(default: none, deadlock detection only)")

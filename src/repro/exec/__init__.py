@@ -18,6 +18,10 @@ We also implement the sort-merge pointer join the paper tried and
 dropped, and the hybrid-hash variant it names as the obvious next step
 but never tested, plus the Section 4 selection scans (standard scan,
 unclustered index scan, *sorted* unclustered index scan — Figure 8).
+
+Execution is pipelined: every algorithm is a pull-based batched
+operator in :mod:`repro.exec.operators`, and the list-returning
+functions here are drain wrappers kept for the benchmark harnesses.
 """
 
 from repro.exec.hash_table import QueryHashTable, chj_table_bytes, phj_table_bytes
@@ -31,6 +35,13 @@ from repro.exec.joins import (
     navigation_parent_to_child,
     sort_merge_join,
 )
+from repro.exec.operators import (
+    DEFAULT_BATCH_SIZE,
+    Cursor,
+    Operator,
+    PipelineContext,
+    PipelineStats,
+)
 from repro.exec.results import ResultBuilder
 from repro.exec.scans import (
     SelectionResult,
@@ -40,6 +51,11 @@ from repro.exec.scans import (
 from repro.exec.sorter import sort_charged
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "Cursor",
+    "Operator",
+    "PipelineContext",
+    "PipelineStats",
     "QueryHashTable",
     "phj_table_bytes",
     "chj_table_bytes",

@@ -18,6 +18,12 @@ Conventions shared by all algorithms, following Section 5:
 * hash tables store whatever ``f(p, pa)`` needs (here: one projected
   attribute), sized by Figure 10's model;
 * results are built under standard transaction mode.
+
+Since the pipeline refactor the algorithm bodies live in
+:mod:`repro.exec.operators.joins` as streaming operators; the functions
+below drain those operators and return the full row list, at identical
+charged cost.  Streaming consumers go through the operator package (or
+``OQLEngine.execute_iter``) directly.
 """
 
 from __future__ import annotations
@@ -25,19 +31,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.exec.hash_table import (
-    CHJ_BUCKET_BYTES,
-    CHJ_CHILD_BYTES,
-    QueryHashTable,
-    phj_table_bytes,
-)
-from repro.exec.results import ResultBuilder
+from repro.exec.operators.joins import drain_algorithm
 from repro.exec.sorter import sort_charged
 from repro.index.btree import BTreeIndex
 from repro.objects.database import Database
-from repro.simtime import Bucket
-from repro.storage.rid import Rid
-from repro.units import pages_for_bytes
 
 
 @dataclass
@@ -98,21 +95,7 @@ def navigation_parent_to_child(q: TreeJoinQuery) -> list[tuple]:
     selected parent: the big handicap the paper calls out, since the
     child collection can be a thousand times larger.
     """
-    db, om = q.db, q.db.manager
-    result = ResultBuilder(db, q.transactional_result)
-    for entry in q.selected_parents():
-        with om.borrow(entry.rid) as parent:
-            parent_value = om.get_attr(parent, q.parent_project)
-            children = om.get_attr(parent, q.parent_set)
-            for child_rid in db.iter_set_rids(children):
-                with om.borrow(child_rid) as child:
-                    key = om.get_attr(child, q.child_key)
-                    db.clock.charge_us(Bucket.CPU, db.params.predicate_us)
-                    if key < q.child_high:  # type: ignore[operator]
-                        result.append(
-                            (parent_value, om.get_attr(child, q.child_project))
-                        )
-    return result.rows
+    return drain_algorithm(q, "NL")
 
 
 def navigation_child_to_parent(q: TreeJoinQuery) -> list[tuple]:
@@ -122,21 +105,7 @@ def navigation_child_to_parent(q: TreeJoinQuery) -> list[tuple]:
     predicate once per child (up to 1,000 times per parent); "the join
     is hidden within the navigation pattern".
     """
-    db, om = q.db, q.db.manager
-    result = ResultBuilder(db, q.transactional_result)
-    for entry in q.selected_children():
-        with om.borrow(entry.rid) as child:
-            parent_rid = om.get_attr(child, q.child_ref)
-            if parent_rid is not None:
-                with om.borrow(parent_rid) as parent:
-                    key = om.get_attr(parent, q.parent_key)
-                    db.clock.charge_us(Bucket.CPU, db.params.predicate_us)
-                    if key < q.parent_high:  # type: ignore[operator]
-                        result.append(
-                            (om.get_attr(parent, q.parent_project),
-                             om.get_attr(child, q.child_project))
-                        )
-    return result.rows
+    return drain_algorithm(q, "NOJOIN")
 
 
 def hash_parents_join(q: TreeJoinQuery) -> list[tuple]:
@@ -145,21 +114,7 @@ def hash_parents_join(q: TreeJoinQuery) -> list[tuple]:
     Both indexes apply and both collections are read sequentially; the
     table holds (parent id, parent information) per selected parent.
     """
-    db, om = q.db, q.db.manager
-    table = QueryHashTable(
-        db.clock, db.params, db.counters, entry_bytes=phj_table_bytes(1)
-    )
-    for entry in q.selected_parents():
-        with om.borrow(entry.rid) as parent:
-            table.insert(entry.rid, om.get_attr(parent, q.parent_project))
-    result = ResultBuilder(db, q.transactional_result)
-    for entry in q.selected_children():
-        with om.borrow(entry.rid) as child:
-            parent_rid = om.get_attr(child, q.child_ref)
-            info = table.probe(parent_rid)
-            if info is not None:
-                result.append((info, om.get_attr(child, q.child_project)))
-    return result.rows
+    return drain_algorithm(q, "PHJ")
 
 
 def hash_children_join(q: TreeJoinQuery) -> list[tuple]:
@@ -171,29 +126,7 @@ def hash_children_join(q: TreeJoinQuery) -> list[tuple]:
     table holding the children — 3 to 1000 times more entries — over a
     bucket directory covering the whole parent domain (Figure 10).
     """
-    db, om = q.db, q.db.manager
-    table = QueryHashTable(
-        db.clock,
-        db.params,
-        db.counters,
-        entry_bytes=CHJ_CHILD_BYTES,
-        bucket_bytes=CHJ_BUCKET_BYTES,
-    )
-    for entry in q.selected_children():
-        with om.borrow(entry.rid) as child:
-            table.insert(
-                om.get_attr(child, q.child_ref),
-                om.get_attr(child, q.child_project),
-            )
-    result = ResultBuilder(db, q.transactional_result)
-    for entry in q.selected_parents():
-        matches = table.probe_all(entry.rid)
-        if matches:
-            with om.borrow(entry.rid) as parent:
-                parent_value = om.get_attr(parent, q.parent_project)
-            for child_value in matches:
-                result.append((parent_value, child_value))
-    return result.rows
+    return drain_algorithm(q, "CHJ")
 
 
 def sort_merge_join(q: TreeJoinQuery) -> list[tuple]:
@@ -205,45 +138,7 @@ def sort_merge_join(q: TreeJoinQuery) -> list[tuple]:
     sorted by parent rid; parents arrive rid-sorted from their clustered
     index scan; a merge pass pairs them up.
     """
-    db, om = q.db, q.db.manager
-    child_pairs: list[tuple[Rid, object]] = []
-    for entry in q.selected_children():
-        with om.borrow(entry.rid) as child:
-            parent_rid = om.get_attr(child, q.child_ref)
-            if parent_rid is not None:
-                child_pairs.append(
-                    (parent_rid, om.get_attr(child, q.child_project))
-                )
-    child_pairs = sort_charged(
-        child_pairs, db.clock, db.params, key=lambda p: p[0], bytes_per_item=16
-    )
-
-    parent_entries = [
-        (entry.rid, entry.key) for entry in q.selected_parents()
-    ]
-    parent_entries = sort_charged(
-        parent_entries, db.clock, db.params, key=lambda p: p[0], bytes_per_item=16
-    )
-
-    result = ResultBuilder(db, q.transactional_result)
-    i = 0
-    for parent_rid, __key in parent_entries:
-        while i < len(child_pairs) and child_pairs[i][0] < parent_rid:
-            db.clock.charge_us(Bucket.CPU, db.params.compare_us)
-            i += 1
-        if i >= len(child_pairs):
-            break
-        if child_pairs[i][0] != parent_rid:
-            continue
-        with om.borrow(parent_rid) as parent:
-            parent_value = om.get_attr(parent, q.parent_project)
-        j = i
-        while j < len(child_pairs) and child_pairs[j][0] == parent_rid:
-            db.clock.charge_us(Bucket.CPU, db.params.compare_us)
-            result.append((parent_value, child_pairs[j][1]))
-            j += 1
-        i = j
-    return result.rows
+    return drain_algorithm(q, "SMJ")
 
 
 def hybrid_hash_parents_join(q: TreeJoinQuery) -> list[tuple]:
@@ -255,54 +150,7 @@ def hybrid_hash_parents_join(q: TreeJoinQuery) -> list[tuple]:
     of letting the OS thrash: the swap penalty is replaced by sequential
     partition I/O, which is the entire point of hybrid hashing.
     """
-    db, om = q.db, q.db.manager
-    budget = db.params.memory.query_memory_bytes
-
-    parents = []
-    for entry in q.selected_parents():
-        with om.borrow(entry.rid) as parent:
-            parents.append((entry.rid, om.get_attr(parent, q.parent_project)))
-    table_bytes = phj_table_bytes(len(parents))
-    spill_fraction = 0.0
-    if budget and table_bytes > budget:
-        spill_fraction = (table_bytes - budget) / table_bytes
-
-    # Overflow partitions are written once and read once (build side).
-    spilled_build_pages = pages_for_bytes(int(table_bytes * spill_fraction))
-    for __ in range(spilled_build_pages):
-        db.clock.charge_ms(Bucket.IO, db.params.page_write_ms)
-        db.clock.charge_ms(Bucket.IO, db.params.page_read_ms)
-        db.counters.disk_writes += 1
-        db.counters.disk_reads += 1
-
-    table = QueryHashTable(
-        db.clock,
-        db.params,
-        db.counters,
-        entry_bytes=phj_table_bytes(1),
-        budget_bytes=table_bytes,  # partitions always fit: no thrash
-    )
-    for parent_rid, value in parents:
-        table.insert(parent_rid, value)
-
-    result = ResultBuilder(db, q.transactional_result)
-    probe_bytes = 0
-    for entry in q.selected_children():
-        with om.borrow(entry.rid) as child:
-            parent_rid = om.get_attr(child, q.child_ref)
-            # A spill_fraction of probes lands in spilled partitions and
-            # is written/re-read with them.
-            probe_bytes += int(16 * spill_fraction)
-            info = table.probe(parent_rid)
-            if info is not None:
-                result.append((info, om.get_attr(child, q.child_project)))
-    spilled_probe_pages = pages_for_bytes(probe_bytes)
-    for __ in range(spilled_probe_pages):
-        db.clock.charge_ms(Bucket.IO, db.params.page_write_ms)
-        db.clock.charge_ms(Bucket.IO, db.params.page_read_ms)
-        db.counters.disk_writes += 1
-        db.counters.disk_reads += 1
-    return result.rows
+    return drain_algorithm(q, "PHJ-HYBRID")
 
 
 #: Registry used by the benchmark harness and the optimizer; the keys

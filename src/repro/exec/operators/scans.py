@@ -1,0 +1,184 @@
+"""Scan-side operators: rid sources and the fetch that dereferences them.
+
+These are the Figure 8 access paths as operators.  A rid source
+(:class:`CollectionScan` or :class:`IndexScan`) emits record ids; a
+:class:`Fetch` above it borrows one handle per rid, applies a row
+function, and emits the surviving rows.  The module-level builders
+assemble the same trees the legacy ``select_scan`` / ``select_indexed``
+list builders hard-coded, with identical charge order.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Callable
+
+from repro.exec.operators.base import SKIP, Operator, PipelineContext
+from repro.exec.sorter import sort_charged
+from repro.index.btree import BTreeIndex
+from repro.objects.database import Database, PersistentCollection
+from repro.simtime import Bucket
+
+
+class CollectionScan(Operator):
+    """Emit every rid of a collection, in physical (creation) order."""
+
+    def __init__(self, ctx: PipelineContext, collection: PersistentCollection):
+        super().__init__(ctx)
+        self.collection = collection
+        self._iter = iter(())
+
+    def _open(self) -> None:
+        self._iter = iter(self.collection.iter_rids())
+
+    def _next(self, n: int) -> list:
+        return list(islice(self._iter, n))
+
+    def _close(self) -> None:
+        self._iter = iter(())
+
+
+class IndexScan(Operator):
+    """Emit the rids of a B+-tree range scan.
+
+    The range scan runs (and charges its leaf I/O) in ``_open`` — the
+    index produces its matches up front, exactly as the materializing
+    code did.  With ``sorted_rids`` the rid table is additionally
+    sorted by physical address (Figure 8, right).  The rid table is
+    bookkeeping, not rows; its memory is modeled by the sort's spill
+    charges, so it is not counted against ``peak_rows``.
+    """
+
+    def __init__(
+        self,
+        ctx: PipelineContext,
+        index: BTreeIndex,
+        low: object | None,
+        high: object | None,
+        include_low: bool = True,
+        include_high: bool = True,
+        sorted_rids: bool = False,
+    ):
+        super().__init__(ctx)
+        self.index = index
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+        self.sorted_rids = sorted_rids
+        self._rids: list = []
+        self._pos = 0
+
+    def _open(self) -> None:
+        db = self.ctx.db
+        self._rids = [
+            entry.rid
+            for entry in self.index.range_scan(
+                self.low, self.high, self.include_low, self.include_high
+            )
+        ]
+        if self.sorted_rids:
+            self._rids = sort_charged(self._rids, db.clock, db.params)
+
+    def _next(self, n: int) -> list:
+        batch = self._rids[self._pos : self._pos + n]
+        self._pos += len(batch)
+        return batch
+
+    def _close(self) -> None:
+        self._rids = []
+
+
+class Fetch(Operator):
+    """Borrow one handle per input rid and apply a row function.
+
+    ``row_fn(om, handle)`` returns the output row, or :data:`SKIP` to
+    drop the object (a failed predicate).  Each surviving row is charged
+    the ResultBuilder append price as it is emitted.  The handle bracket
+    closes before the row leaves the operator — nothing is held across a
+    batch boundary.
+    """
+
+    def __init__(
+        self,
+        ctx: PipelineContext,
+        source: Operator,
+        row_fn: Callable,
+        transactional: bool = True,
+    ):
+        super().__init__(ctx)
+        self.source = source
+        self.row_fn = row_fn
+        self.transactional = transactional
+        self.scanned = 0
+        self._rids: list = []
+        self._pos = 0
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.source,)
+
+    def _next(self, n: int) -> list:
+        om = self.ctx.db.manager
+        out: list = []
+        while len(out) < n:
+            if self._pos >= len(self._rids):
+                self._rids = self.source.next_batch(n)
+                self._pos = 0
+                if not self._rids:
+                    break
+            rid = self._rids[self._pos]
+            self._pos += 1
+            self.scanned += 1
+            with om.borrow(rid) as handle:
+                row = self.row_fn(om, handle)
+            if row is not SKIP:
+                self.ctx.charge_result(self.transactional)
+                out.append(row)
+        return out
+
+
+# -- builders matching the legacy list executors --------------------------
+
+
+def build_select_scan(
+    db: Database,
+    collection: PersistentCollection,
+    attr: str,
+    predicate: Callable[[object], bool],
+    project: str,
+    transactional: bool = True,
+) -> Fetch:
+    """Figure 8, left, as an operator tree: CollectionScan → Fetch."""
+    ctx = PipelineContext(db)
+
+    def row_fn(om, handle):
+        value = om.get_attr(handle, attr)
+        db.clock.charge_us(Bucket.CPU, db.params.predicate_us)
+        if not predicate(value):
+            return SKIP
+        return om.get_attr(handle, project)
+
+    return Fetch(ctx, CollectionScan(ctx, collection), row_fn, transactional)
+
+
+def build_select_indexed(
+    db: Database,
+    index: BTreeIndex,
+    low: object | None,
+    high: object | None,
+    project: str,
+    sorted_rids: bool = False,
+    include_low: bool = True,
+    include_high: bool = True,
+    transactional: bool = True,
+) -> Fetch:
+    """Figure 8, right (or the plain index scan): IndexScan → Fetch."""
+    ctx = PipelineContext(db)
+
+    def row_fn(om, handle):
+        return om.get_attr(handle, project)
+
+    source = IndexScan(
+        ctx, index, low, high, include_low, include_high, sorted_rids
+    )
+    return Fetch(ctx, source, row_fn, transactional)

@@ -24,6 +24,10 @@ The unsorted variant (``sorted_rids=False``) fetches objects in key
 order, which on an unclustered key means random page accesses — the
 regime where Figure 6 shows the index reading *more* pages than a full
 scan beyond a few percent selectivity.
+
+Since the pipeline refactor these functions are drain-the-operator-tree
+wrappers over :mod:`repro.exec.operators.scans`; they still return fully
+materialized :class:`SelectionResult` values at identical charged cost.
 """
 
 from __future__ import annotations
@@ -31,11 +35,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.exec.results import ResultBuilder
-from repro.exec.sorter import sort_charged
+from repro.exec.operators.base import Cursor
+from repro.exec.operators.scans import build_select_indexed, build_select_scan
 from repro.index.btree import BTreeIndex
 from repro.objects.database import Database, PersistentCollection
-from repro.simtime import Bucket
 
 
 @dataclass
@@ -60,17 +63,9 @@ def select_scan(
     transactional: bool = True,
 ) -> SelectionResult:
     """Figure 8, left: full collection scan, one handle per element."""
-    om = db.manager
-    result = ResultBuilder(db, transactional)
-    scanned = 0
-    for rid in collection.iter_rids():
-        scanned += 1
-        with om.borrow(rid) as handle:
-            value = om.get_attr(handle, attr)
-            db.clock.charge_us(Bucket.CPU, db.params.predicate_us)
-            if predicate(value):
-                result.append(om.get_attr(handle, project))
-    return SelectionResult(result.rows, scanned, len(result))
+    op = build_select_scan(db, collection, attr, predicate, project, transactional)
+    rows = Cursor(op.ctx, op).drain()
+    return SelectionResult(rows, op.scanned, len(rows))
 
 
 def select_indexed(
@@ -86,15 +81,9 @@ def select_indexed(
 ) -> SelectionResult:
     """Figure 8, right (with ``sorted_rids=True``) or the plain
     unclustered index scan (``sorted_rids=False``)."""
-    om = db.manager
-    rids = [
-        entry.rid
-        for entry in index.range_scan(low, high, include_low, include_high)
-    ]
-    if sorted_rids:
-        rids = sort_charged(rids, db.clock, db.params)
-    result = ResultBuilder(db, transactional)
-    for rid in rids:
-        with om.borrow(rid) as handle:
-            result.append(om.get_attr(handle, project))
-    return SelectionResult(result.rows, len(rids), len(result))
+    op = build_select_indexed(
+        db, index, low, high, project, sorted_rids, include_low, include_high,
+        transactional,
+    )
+    rows = Cursor(op.ctx, op).drain()
+    return SelectionResult(rows, op.scanned, len(rows))

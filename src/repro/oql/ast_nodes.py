@@ -95,13 +95,14 @@ class FromClause:
 @dataclass(frozen=True)
 class Query:
     """``select [distinct] <expr> from <clauses> [where <expr>]
-    [order by <path> [asc|desc], ...]``."""
+    [order by <path> [asc|desc], ...] [limit <n>]``."""
 
     select: Expr
     from_clauses: tuple[FromClause, ...]
     where: Expr | None = None
     distinct: bool = False
     order_by: tuple[OrderBy, ...] = ()
+    limit: int | None = None
 
 
 def conjuncts(expr: Expr | None) -> list[Expr]:

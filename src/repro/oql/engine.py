@@ -1,17 +1,43 @@
-"""OQL execution: plans in, rows out.
+"""OQL execution: plans in, batches out.
 
-The engine interprets the optimizer's physical plans against the object
-manager, reusing the measured execution machinery (Figure 8 scan shapes,
-the Section 5 join algorithms) so an OQL query costs exactly what the
-benchmarks measure for the same access path.
+The engine compiles the optimizer's physical plans into pull-based
+operator trees (:mod:`repro.exec.operators`) and exposes two ways to
+consume them:
+
+* :meth:`OQLEngine.execute_iter` — a :class:`~repro.exec.operators.base.Cursor`
+  streaming batches; ``limit`` / exists / first-row consumers stop early
+  and never pay for the rest of the extent;
+* :meth:`OQLEngine.execute` — drain the cursor and return the full row
+  list, byte- and cost-identical to the pre-pipeline materializing
+  engine.
+
+Either way a query costs exactly what the benchmarks measure for the
+same access path, because the operators reuse the measured execution
+machinery (Figure 8 scan shapes, the Section 5 join algorithms).
 """
 
 from __future__ import annotations
 
 from repro.errors import PlanError
-from repro.exec.joins import ALGORITHMS, TreeJoinQuery
-from repro.exec.results import ResultBuilder
-from repro.exec.sorter import sort_charged
+from repro.exec.joins import TreeJoinQuery
+from repro.exec.operators.base import (
+    DEFAULT_BATCH_SIZE,
+    SKIP,
+    Cursor,
+    Operator,
+    PipelineContext,
+    PipelineStats,
+)
+from repro.exec.operators.joins import JOIN_OPERATORS
+from repro.exec.operators.scans import CollectionScan, Fetch, IndexScan
+from repro.exec.operators.transforms import (
+    Distinct,
+    FetchingAggregate,
+    IndexOnlyAggregate,
+    Limit,
+    Map,
+    Sort,
+)
 from repro.oql.ast_nodes import Query
 from repro.oql.catalog import Catalog
 from repro.oql.optimizer import (
@@ -36,9 +62,17 @@ _OPS = {
 class OQLEngine:
     """Parses, optimizes and executes OQL text against one catalog."""
 
-    def __init__(self, catalog: Catalog, include_extensions: bool = False):
+    def __init__(
+        self,
+        catalog: Catalog,
+        include_extensions: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
         self.catalog = catalog
         self.optimizer = Optimizer(catalog, include_extensions)
+        self.batch_size = batch_size
+        #: Pipeline stats of the most recent fully-drained ``execute``.
+        self.last_stats: PipelineStats | None = None
 
     # -- public API ----------------------------------------------------
 
@@ -46,41 +80,74 @@ class OQLEngine:
         query = parse(source) if isinstance(source, str) else source
         return self.optimizer.plan(query)
 
+    def compile(
+        self, source: str | Query | SelectionPlan | TreeJoinPlan
+    ) -> Operator:
+        """Compile a query (or an already-chosen plan) into an operator
+        tree over a fresh :class:`PipelineContext`."""
+        if isinstance(source, (SelectionPlan, TreeJoinPlan)):
+            plan = source
+        else:
+            plan = self.plan(source)
+        ctx = PipelineContext(self.catalog.db)
+        if isinstance(plan, SelectionPlan):
+            root = self._compile_selection(ctx, plan)
+        else:
+            root = self._compile_tree_join(ctx, plan)
+        if plan.distinct:
+            root = Distinct(ctx, root)
+        if plan.limit is not None:
+            root = Limit(ctx, root, plan.limit)
+        return root
+
+    def execute_iter(
+        self,
+        source: str | Query | SelectionPlan | TreeJoinPlan,
+        batch_size: int | None = None,
+    ) -> Cursor:
+        """Compile and return a streaming cursor over the result."""
+        root = self.compile(source)
+        return Cursor(root.ctx, root, batch_size or self.batch_size)
+
     def execute(self, source: str | Query) -> list[tuple]:
         """Run a query; rows come back as tuples in select-clause order."""
-        plan = self.plan(source)
-        if isinstance(plan, SelectionPlan):
-            rows = self._run_selection(plan)
-        else:
-            rows = self._run_tree_join(plan)
-        if plan.distinct:
-            rows = list(dict.fromkeys(rows))
+        cursor = self.execute_iter(source)
+        rows = cursor.drain()
+        self.last_stats = cursor.stats
         return rows
 
     # -- selections -----------------------------------------------------
 
-    def _run_selection(self, plan: SelectionPlan) -> list[tuple]:
-        db = self.catalog.db
-        om = db.manager
+    def _compile_selection(
+        self, ctx: PipelineContext, plan: SelectionPlan
+    ) -> Operator:
         info = self.catalog.collection(plan.collection_name)
 
         if plan.index_only:
-            return [self._run_index_only_aggregate(plan)]
+            func, __attr = plan.aggregate  # type: ignore[misc]
+            low, high, inc_low, inc_high = plan.predicate.bounds()  # type: ignore[union-attr]
+            return IndexOnlyAggregate(
+                ctx, plan.index, low, high, inc_low, inc_high, func  # type: ignore[arg-type]
+            )
 
         if plan.index is None:
-            rid_source = info.collection.iter_rids()
+            rid_source: Operator = CollectionScan(ctx, info.collection)
         else:
             low, high, inc_low, inc_high = plan.predicate.bounds()  # type: ignore[union-attr]
-            rids = [
-                entry.rid
-                for entry in plan.index.range_scan(low, high, inc_low, inc_high)
-            ]
-            if plan.sorted_rids:
-                rids = sort_charged(rids, db.clock, db.params)
-            rid_source = iter(rids)
+            rid_source = IndexScan(
+                ctx, plan.index, low, high, inc_low, inc_high,
+                sorted_rids=plan.sorted_rids,
+            )
 
         if plan.aggregate is not None:
-            return [self._run_fetching_aggregate(plan, rid_source)]
+            func, attr = plan.aggregate
+
+            def accept_fn(om, handle):
+                return self._passes(om, handle, plan.residuals) and (
+                    self._passes_exists(om, handle, plan.exists_filters)
+                )
+
+            return FetchingAggregate(ctx, rid_source, accept_fn, func, attr)
 
         fetch_attrs = list(plan.project)
         sort_attrs = [attr for attr, __ in plan.order_by]
@@ -88,89 +155,27 @@ class OQLEngine:
             if attr not in fetch_attrs:
                 fetch_attrs.append(attr)
 
-        result = ResultBuilder(db)
-        keyed: list[tuple[tuple, object]] = []
-        for rid in rid_source:
-            with om.borrow(rid) as handle:
-                if self._passes(om, handle, plan.residuals) and self._passes_exists(
-                    om, handle, plan.exists_filters
-                ):
-                    values = {
-                        attr: om.get_attr(handle, attr) for attr in fetch_attrs
-                    }
-                    row = tuple(values[attr] for attr in plan.project)
-                    out = row if len(plan.project) > 1 else row[0]
-                    result.append(out)
-                    if sort_attrs:
-                        keyed.append(
-                            (tuple(values[attr] for attr in sort_attrs), out)
-                        )
-        if not plan.order_by:
-            return result.rows
-        return self._apply_order(plan, keyed)
+        def row_fn(om, handle):
+            if not (
+                self._passes(om, handle, plan.residuals)
+                and self._passes_exists(om, handle, plan.exists_filters)
+            ):
+                return SKIP
+            values = {attr: om.get_attr(handle, attr) for attr in fetch_attrs}
+            row = tuple(values[attr] for attr in plan.project)
+            out = row if len(plan.project) > 1 else row[0]
+            if sort_attrs:
+                return (tuple(values[attr] for attr in sort_attrs), out)
+            return out
 
-    def _apply_order(
-        self, plan: SelectionPlan, keyed: list[tuple[tuple, object]]
-    ) -> list[object]:
-        db = self.catalog.db
-        rows = keyed
-        # Sort by each term from the last to the first (stable sorts
-        # compose), honouring per-term direction.
-        for position in range(len(plan.order_by) - 1, -1, -1):
-            __, descending = plan.order_by[position]
-            rows = sort_charged(
-                rows,
-                db.clock,
-                db.params,
-                key=lambda item, p=position: item[0][p],
-            )
-            if descending:
-                rows = rows[::-1]
-        return [row for __, row in rows]
+        fetched: Operator = Fetch(ctx, rid_source, row_fn)
+        if plan.order_by:
+            fetched = Sort(ctx, fetched, plan.order_by)
+        return fetched
 
-    def _run_index_only_aggregate(self, plan: SelectionPlan) -> object:
-        """Answer count/sum/avg/min/max straight from index entries."""
-        db = self.catalog.db
-        func, __attr = plan.aggregate  # type: ignore[misc]
-        low, high, inc_low, inc_high = plan.predicate.bounds()  # type: ignore[union-attr]
-        count = 0
-        total = 0.0
-        lo: object | None = None
-        hi: object | None = None
-        for entry in plan.index.range_scan(low, high, inc_low, inc_high):  # type: ignore[union-attr]
-            db.clock.charge_us(Bucket.CPU, db.params.compare_us)
-            count += 1
-            if func != "count":
-                key = entry.key
-                total += key  # type: ignore[operator]
-                lo = key if lo is None or key < lo else lo  # type: ignore[operator]
-                hi = key if hi is None or key > hi else hi  # type: ignore[operator]
-        return _finish_aggregate(func, count, total, lo, hi)
-
-    def _run_fetching_aggregate(self, plan: SelectionPlan, rid_source) -> object:
-        """Aggregate that must look at the objects (unindexed predicate,
-        residuals, or an aggregate over a non-key attribute)."""
-        db = self.catalog.db
-        om = db.manager
-        func, attr = plan.aggregate  # type: ignore[misc]
-        count = 0
-        total = 0.0
-        lo: object | None = None
-        hi: object | None = None
-        for rid in rid_source:
-            with om.borrow(rid) as handle:
-                if self._passes(om, handle, plan.residuals) and self._passes_exists(
-                    om, handle, plan.exists_filters
-                ):
-                    count += 1
-                    if func != "count":
-                        value = om.get_attr(handle, attr)  # type: ignore[arg-type]
-                        total += value  # type: ignore[operator]
-                        lo = value if lo is None or value < lo else lo  # type: ignore[operator]
-                        hi = value if hi is None or value > hi else hi  # type: ignore[operator]
-        return _finish_aggregate(func, count, total, lo, hi)
-
-    def _passes(self, om, handle, predicates: tuple[SargablePredicate, ...]) -> bool:
+    def _passes(
+        self, om, handle, predicates: tuple[SargablePredicate, ...]
+    ) -> bool:
         db = self.catalog.db
         for pred in predicates:
             value = om.get_attr(handle, pred.attr)
@@ -198,7 +203,9 @@ class OQLEngine:
 
     # -- tree joins --------------------------------------------------------
 
-    def _run_tree_join(self, plan: TreeJoinPlan) -> list[tuple]:
+    def _compile_tree_join(
+        self, ctx: PipelineContext, plan: TreeJoinPlan
+    ) -> Operator:
         rel = plan.relationship
         parent_index = self.catalog.index_for(rel.parent_collection, plan.parent_key)
         child_index = self.catalog.index_for(rel.child_collection, plan.child_key)
@@ -218,24 +225,14 @@ class OQLEngine:
             parent_project=plan.parent_project,
             child_project=plan.child_project,
         )
-        rows = ALGORITHMS[plan.algorithm](query)
+        join: Operator = JOIN_OPERATORS[plan.algorithm](ctx, query)
         if plan.parent_first:
-            return rows
-        return [(child_value, parent_value) for parent_value, child_value in rows]
-
-
-def _finish_aggregate(
-    func: str, count: int, total: float, lo: object | None, hi: object | None
-) -> object:
-    if func == "count":
-        return count
-    if func == "sum":
-        return total
-    if func == "avg":
-        return total / count if count else None
-    if func == "min":
-        return lo
-    return hi
+            return join
+        return Map(
+            ctx,
+            join,
+            lambda row: (row[1], row[0]),
+        )
 
 
 def run_oql(catalog: Catalog, source: str) -> list[tuple]:

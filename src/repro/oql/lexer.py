@@ -26,6 +26,7 @@ KEYWORDS = {
     "asc",
     "desc",
     "exists",
+    "limit",
 }
 
 _TWO_CHAR_OPS = ("<=", ">=", "!=")

@@ -94,6 +94,8 @@ class SelectionPlan:
     order_by: tuple[tuple[str, bool], ...] = ()
     #: Existential semijoin filters (navigated per candidate).
     exists_filters: tuple[ExistsFilter, ...] = ()
+    #: Emit at most this many rows (early-exits the pipeline).
+    limit: int | None = None
 
     @property
     def description(self) -> str:
@@ -117,6 +119,8 @@ class TreeJoinPlan:
     estimate: PlanEstimate
     alternatives: dict[str, PlanEstimate] = field(default_factory=dict)
     distinct: bool = False
+    #: Emit at most this many rows (early-exits the pipeline).
+    limit: int | None = None
 
     @property
     def description(self) -> str:
@@ -286,6 +290,7 @@ class Optimizer:
                     distinct=query.distinct,
                     aggregate=aggregate,
                     index_only=True,
+                    limit=query.limit,
                 )
 
         choice = min(alternatives, key=lambda k: alternatives[k].seconds)
@@ -306,6 +311,7 @@ class Optimizer:
                 aggregate=aggregate,
                 order_by=tuple(order_by),
                 exists_filters=tuple(exists_filters),
+                limit=query.limit,
             )
 
         return SelectionPlan(
@@ -322,6 +328,7 @@ class Optimizer:
             aggregate=aggregate,
             order_by=tuple(order_by),
             exists_filters=tuple(exists_filters),
+            limit=query.limit,
         )
 
     # -- tree joins -----------------------------------------------------------
@@ -409,6 +416,7 @@ class Optimizer:
             estimate=estimates[algorithm],
             alternatives=estimates,
             distinct=query.distinct,
+            limit=query.limit,
         )
 
     def _join_stats(

@@ -5,6 +5,8 @@ Grammar (informal)::
     query      := "select" ["distinct"] select_expr
                   "from" from_clause ("," from_clause)*
                   ["where" or_expr]
+                  ["order" "by" order_term ("," order_term)*]
+                  ["limit" int]
     select_expr:= tuple_expr | list_expr | or_expr
     tuple_expr := "tuple" "(" ident ":" or_expr ("," ident ":" or_expr)* ")"
     list_expr  := "[" or_expr ("," or_expr)* "]"
@@ -107,11 +109,22 @@ class _Parser:
             while self.cur.is_op(","):
                 self.advance()
                 order_by.append(self._order_term())
+        limit: int | None = None
+        if self.cur.is_kw("limit"):
+            self.advance()
+            if self.cur.kind != "int":
+                raise OQLSyntaxError(
+                    f"limit expects an integer at position {self.cur.pos}, "
+                    f"got {self.cur.text!r}"
+                )
+            limit = int(self.advance().text.replace("_", ""))
         if self.cur.kind != "eof":
             raise OQLSyntaxError(
                 f"trailing input at position {self.cur.pos}: {self.cur.text!r}"
             )
-        return Query(select, tuple(clauses), where, distinct, tuple(order_by))
+        return Query(
+            select, tuple(clauses), where, distinct, tuple(order_by), limit
+        )
 
     def _order_term(self) -> OrderBy:
         key = self.primary()

@@ -38,6 +38,8 @@ def print_query(query: Query) -> str:
     if query.order_by:
         parts.append("order by")
         parts.append(", ".join(_print_order(term) for term in query.order_by))
+    if query.limit is not None:
+        parts.append(f"limit {query.limit}")
     return " ".join(parts)
 
 

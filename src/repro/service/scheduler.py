@@ -5,7 +5,9 @@ so "concurrency" means *deterministic interleaving*: every session runs
 in its own thread, but exactly one thread holds the baton at any moment
 and the baton is handed over only at explicit yield points — client page
 faults / RPCs (the :attr:`ClientServerSystem.on_fault` hook), lock
-waits, and voluntary :meth:`yield_point` calls.  Switch order is strict
+waits, operator batch boundaries (:meth:`batch_point`, reached every
+``batch_size`` rows of a pipelined query), and voluntary
+:meth:`yield_point` calls.  Switch order is strict
 round-robin over ready tasks, so a given workload on a given database
 interleaves — and therefore costs — exactly the same way every run.
 
@@ -88,6 +90,8 @@ class CooperativeScheduler:
         self._rr_next = 0  # round-robin cursor
         self._blocked_txns: dict[int, Task] = {}
         self.context_switches = 0
+        #: Yields taken at operator batch boundaries (see batch_point).
+        self.batch_yields = 0
         if locks is not None:
             locks.attach(self.wait_for_lock, self.notify_granted)
 
@@ -165,6 +169,17 @@ class CooperativeScheduler:
             self._schedule_next()
             while self._current is not me:
                 self._cv.wait()
+
+    def batch_point(self) -> None:
+        """Yield point taken between operator batches of a pipelined
+        query, so a long scan hands the baton over every ``batch_size``
+        rows instead of only at page faults.  A no-op outside a
+        scheduled slice (immediate mode, warm-up)."""
+        with self._cv:
+            if self._current is None:
+                return
+        self.batch_yields += 1
+        self.yield_point()
 
     def wait_for_lock(self, txn_id: int, rid: Rid) -> None:
         """Block the current task until its lock request is granted.

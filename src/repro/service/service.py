@@ -53,6 +53,16 @@ class SessionMetrics:
     queries: int = 0
     updates: int = 0
     rows: int = 0
+    #: Batches consumed from pipelined queries.
+    batches: int = 0
+    #: Sum of per-query time-to-first-row (simulated seconds), over
+    #: queries that produced at least one row.
+    first_row_s_total: float = 0.0
+    #: Queries that contributed to ``first_row_s_total``.
+    first_row_samples: int = 0
+    #: Highest pipeline live-row high-water mark over this session's
+    #: queries.
+    peak_rows: int = 0
     #: Simulated seconds charged while this session held the baton.
     busy_s: float = 0.0
     #: Simulated seconds spent suspended on lock waits.
@@ -67,6 +77,12 @@ class SessionMetrics:
         if not self.latencies_s:
             return 0.0
         return sum(self.latencies_s) / len(self.latencies_s)
+
+    @property
+    def mean_first_row_ms(self) -> float:
+        if not self.first_row_samples:
+            return 0.0
+        return self.first_row_s_total * 1e3 / self.first_row_samples
 
     @property
     def max_latency_s(self) -> float:
@@ -94,6 +110,9 @@ class Session:
             db.clock, db.params, db.counters, db.handles.mode
         )
         self.engine = OQLEngine(service.catalog)
+        #: Rows pulled per operator batch; the scheduler is offered the
+        #: baton between batches.
+        self.batch_size: int = self.engine.batch_size
         self.txn: Transaction | None = None
         self.metrics = SessionMetrics()
         self.task: Task | None = None
@@ -124,11 +143,33 @@ class Session:
     # -- operations ---------------------------------------------------------
 
     def execute(self, oql: str) -> list:
-        """Run an OQL query through this session's engine (and caches)."""
-        rows = self.engine.execute(oql)
-        self.metrics.queries += 1
-        self.metrics.rows += len(rows)
+        """Run an OQL query through this session's engine (and caches),
+        yielding the scheduler baton at every operator batch boundary."""
+        rows: list = []
+        for batch in self.execute_iter(oql).batches():
+            rows.extend(batch)
+            self.service.scheduler.batch_point()
         return rows
+
+    def execute_iter(self, oql: str, batch_size: int | None = None):
+        """Open a streaming cursor over an OQL query.  The caller pulls
+        batches (and decides when to yield); metrics are folded in as
+        batches arrive and when the pipeline closes."""
+        cursor = self.engine.execute_iter(oql, batch_size or self.batch_size)
+        metrics = self.metrics
+        metrics.queries += 1
+
+        def on_close() -> None:
+            stats = cursor.stats
+            metrics.rows += stats.rows
+            metrics.batches += stats.batches
+            if stats.first_row_s is not None:
+                metrics.first_row_s_total += stats.first_row_s
+                metrics.first_row_samples += 1
+            metrics.peak_rows = max(metrics.peak_rows, stats.peak_rows)
+
+        cursor.on_close = on_close
+        return cursor
 
     def read_lock(self, rid: Rid) -> None:
         self._require_txn().read_lock(rid)

@@ -71,6 +71,10 @@ class MixConfig:
     #: Overrides for the shared server tier / per-session client tiers.
     server_cache_pages: int | None = None
     client_cache_pages: int | None = None
+    #: Rows per operator batch for every session's queries (``None``:
+    #: the engine default).  Smaller batches yield the scheduler baton
+    #: more often (see ``CooperativeScheduler.batch_point``).
+    batch_size: int | None = None
 
     @property
     def total_clients(self) -> int:
@@ -220,6 +224,8 @@ class WorkloadMixer:
         ):
             for i in range(count):
                 session = service.open_session(f"{profile}{i}")
+                if config.batch_size is not None:
+                    session.batch_size = config.batch_size
                 rng = Random(config.seed * 10_007 + spawned)
                 service.spawn(
                     session, self._session_body(session, profile, rng)
@@ -367,4 +373,6 @@ class WorkloadMixer:
                 cold=True,
                 server_cache_bytes=server_bytes,
                 client_cache_bytes=client_bytes,
+                first_row_ms=s.metrics.mean_first_row_ms,
+                peak_rows=s.metrics.peak_rows,
             )

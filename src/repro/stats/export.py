@@ -26,6 +26,8 @@ _CSV_COLUMNS = (
     "cc_faults",
     "cc_missrate",
     "sc_missrate",
+    "first_row_ms",
+    "peak_rows",
 )
 
 
@@ -61,6 +63,8 @@ _MIX_COLUMNS = (
     "client_faults",
     "server_hits",
     "disk_reads",
+    "first_row_ms",
+    "peak_rows",
 )
 
 
@@ -89,6 +93,8 @@ def mix_to_csv(report) -> str:
             m.meters.client_faults,
             m.meters.server_hits,
             m.meters.disk_reads,
+            m.mean_first_row_ms,
+            m.peak_rows,
         )
         out.write(
             ",".join(

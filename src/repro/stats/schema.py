@@ -85,6 +85,11 @@ def build_stats_schema() -> Schema:
             AttributeDef("SC2CCreadpages", AttrKind.INT32),
             AttributeDef("CCMissrate", AttrKind.INT32),
             AttributeDef("SCMissrate", AttrKind.INT32),
+            # Pipeline instrumentation (post-paper extension): simulated
+            # milliseconds to the first result row, and the high-water
+            # mark of rows buffered across the operator tree.
+            AttributeDef("FirstRowTime", AttrKind.REAL64),
+            AttributeDef("PeakLiveRows", AttrKind.INT32),
         ],
     )
     return schema

@@ -47,6 +47,11 @@ class StatRow:
     cc_faults: int
     cc_missrate: int
     sc_missrate: int
+    #: Simulated milliseconds from query start to the first result row
+    #: (0.0 when the run predates pipelining or produced no rows).
+    first_row_ms: float = 0.0
+    #: High-water mark of rows buffered across the operator tree.
+    peak_rows: int = 0
 
 
 class StatsDatabase:
@@ -77,6 +82,8 @@ class StatsDatabase:
         projectiontype: str = "tuple",
         server_cache_bytes: int = 0,
         client_cache_bytes: int = 0,
+        first_row_ms: float = 0.0,
+        peak_rows: int = 0,
     ) -> Rid:
         """Persist one experiment; returns the Stat's rid."""
         self._numtest += 1
@@ -115,6 +122,8 @@ class StatsDatabase:
                 "SC2CCreadpages": meters.server_to_client,
                 "CCMissrate": round(meters.client_miss_rate * 100),
                 "SCMissrate": round(meters.server_miss_rate * 100),
+                "FirstRowTime": first_row_ms,
+                "PeakLiveRows": peak_rows,
             },
             _FILE,
         )
@@ -164,6 +173,8 @@ class StatsDatabase:
                 cc_faults=stat["CCPagefaults"],
                 cc_missrate=stat["CCMissrate"],
                 sc_missrate=stat["SCMissrate"],
+                first_row_ms=stat["FirstRowTime"],
+                peak_rows=stat["PeakLiveRows"],
             )
             if algo is not None and row.algo != algo:
                 continue
