@@ -1,4 +1,4 @@
-.PHONY: install test lint bench figures mix pipeline recover shell artifacts clean
+.PHONY: install test lint bench figures mix pipeline recover chaos shell artifacts clean
 
 PYTHON ?= python
 # Run the package from the source tree; `make install` is optional.
@@ -39,6 +39,13 @@ pipeline:
 # double-run for determinism; exits nonzero on any contract violation.
 recover:
 	$(PYTHON) -m repro crash fuzz --seeds 40
+
+# Transient-fault chaos: 200 seeded fault-injected mixes (flaky reads,
+# lock-timeout storms, governors), each double-run for determinism,
+# then the overload sweep -> results/governor_overload.txt.
+chaos:
+	$(PYTHON) -m repro chaos --cases 200
+	$(PYTHON) benchmarks/bench_governor.py
 
 shell:
 	$(PYTHON) -m repro shell

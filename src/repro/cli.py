@@ -315,6 +315,12 @@ def cmd_mix(args: argparse.Namespace) -> int:
         seed=args.seed,
         lock_timeout_s=args.lock_timeout,
         batch_size=args.batch_size,
+        max_retries=args.max_retries,
+        budget_pages=args.budget_pages,
+        budget_busy_s=args.budget_busy,
+        budget_rows=args.budget_rows,
+        statement_timeout_s=args.statement_timeout,
+        max_active=args.max_active,
     )
     config = _make_config(args)
     print(f"loading {config.n_providers} providers / "
@@ -428,6 +434,22 @@ def cmd_crash_fuzz(args: argparse.Namespace) -> int:
         with open(args.csv, "w") as fh:
             fh.write(recovery_to_csv(rows))
         print(f"wrote {args.csv}")
+    return 0 if all(r.ok for r in results) else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the seeded transient-fault chaos checker."""
+    from repro.service.chaos import run_chaos, summarize
+
+    results = run_chaos(
+        args.cases,
+        base_seed=args.seed,
+        check_determinism=not args.no_determinism,
+    )
+    print(summarize(results))
+    for r in results:
+        for failure in r.failures:
+            print(f"seed {r.seed}: {failure}", file=sys.stderr)
     return 0 if all(r.ok for r in results) else 1
 
 
@@ -565,6 +587,20 @@ def build_parser() -> argparse.ArgumentParser:
     mix.add_argument("--lock-timeout", type=float, default=None,
                      help="lock wait bound in simulated seconds "
                      "(default: none, deadlock detection only)")
+    mix.add_argument("--max-retries", type=int, default=2,
+                     help="retries after a deadlock/lock-timeout abort "
+                          "before an op gives up (default 2)")
+    mix.add_argument("--budget-pages", type=int, default=None,
+                     help="per-statement client page-fault budget")
+    mix.add_argument("--budget-busy", type=float, default=None,
+                     help="per-statement simulated busy-time budget (s)")
+    mix.add_argument("--budget-rows", type=int, default=None,
+                     help="per-statement peak live-row budget")
+    mix.add_argument("--statement-timeout", type=float, default=None,
+                     help="per-statement elapsed-time limit (simulated s)")
+    mix.add_argument("--max-active", type=int, default=None,
+                     help="admission control: sessions allowed to run an "
+                          "op concurrently (others queue FIFO)")
     mix.add_argument("--csv", default=None,
                      help="also export the Stat rows as CSV to this path")
     mix.add_argument("--sessions-csv", default=None,
@@ -609,6 +645,19 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--csv", default=None,
                       help="export per-case recovery rows as CSV")
     fuzz.set_defaults(func=cmd_crash_fuzz)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded transient-fault chaos checker (flaky reads, "
+             "lock-timeout storms, governors)",
+    )
+    chaos.add_argument("--cases", type=int, default=50,
+                       help="seeded fault-injected mix cases to run")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed (case i uses seed base+i)")
+    chaos.add_argument("--no-determinism", action="store_true",
+                       help="skip the double-run determinism check")
+    chaos.set_defaults(func=cmd_chaos)
 
     layout = sub.add_parser(
         "layout", help="print the Figure 2 view of a database's files"

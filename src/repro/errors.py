@@ -28,6 +28,16 @@ class RecordTooLargeError(StorageError):
     """A record exceeds the maximum size a single page can hold."""
 
 
+class PermanentIOError(StorageError):
+    """A page read kept failing past the disk's bounded retry budget.
+
+    Transient read faults (see
+    :class:`~repro.recovery.TransientFaultInjector`) are retried with
+    backoff inside :meth:`~repro.storage.disk.DiskManager.read_page`;
+    when every retry fails too, the fault is escalated to this error and
+    the operation aborts."""
+
+
 class BufferError_(ReproError):
     """Base class for buffer-manager failures (trailing underscore avoids
     shadowing the builtin :class:`BufferError`)."""
@@ -101,6 +111,33 @@ class DeadlockError(LockConflictError):
 class ServiceError(ReproError):
     """Multi-client query-service failures (bad session, stalled
     scheduler, misconfigured workload mix)."""
+
+
+class GovernorError(ServiceError):
+    """Base class for resource-governor interventions.
+
+    Deliberately *not* a :class:`LockConflictError`: lock victims are
+    transient and worth retrying, a governed query was stopped on
+    purpose and retrying it unchanged would only be stopped again."""
+
+
+class QueryCancelledError(GovernorError):
+    """The session's current operation was cancelled
+    (:meth:`~repro.service.Session.cancel`).  Delivered cooperatively at
+    the next page fault, batch boundary or wait point; the operation
+    aborts cleanly (locks released, zero leaked handles)."""
+
+
+class BudgetExceededError(GovernorError):
+    """A per-query or per-session resource budget (pages read, simulated
+    busy time, peak live rows) was exceeded.  Checked at the same
+    cooperative points as cancellation; a budget that is *exactly*
+    exhausted on the final batch does not trip."""
+
+
+class StatementTimeoutError(BudgetExceededError):
+    """A statement ran longer (on the shared simulated timeline) than
+    the configured statement timeout."""
 
 
 class RecoveryError(ReproError):

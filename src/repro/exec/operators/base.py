@@ -244,10 +244,13 @@ class Cursor:
             yield from batch
 
     def drain(self) -> list:
-        """Pull everything; returns the full row list."""
+        """Pull everything; returns the full row list.  Runs inside
+        ``with self`` so an abort mid-drain (cancellation, budget,
+        deadlock) still closes the tree and fires ``on_close``."""
         rows: list = []
-        for batch in self.batches():
-            rows.extend(batch)
+        with self:
+            for batch in self.batches():
+                rows.extend(batch)
         return rows
 
     def close(self) -> None:

@@ -390,4 +390,5 @@ def drain_algorithm(
 ) -> list[tuple]:
     """Run the named algorithm to completion; the legacy list API."""
     op = build_join(q, algorithm)
-    return Cursor(op.ctx, op, batch_size).drain()
+    with Cursor(op.ctx, op, batch_size) as cursor:
+        return cursor.drain()

@@ -64,7 +64,8 @@ def select_scan(
 ) -> SelectionResult:
     """Figure 8, left: full collection scan, one handle per element."""
     op = build_select_scan(db, collection, attr, predicate, project, transactional)
-    rows = Cursor(op.ctx, op).drain()
+    with Cursor(op.ctx, op) as cursor:
+        rows = cursor.drain()
     return SelectionResult(rows, op.scanned, len(rows))
 
 
@@ -85,5 +86,6 @@ def select_indexed(
         db, index, low, high, project, sorted_rids, include_low, include_high,
         transactional,
     )
-    rows = Cursor(op.ctx, op).drain()
+    with Cursor(op.ctx, op) as cursor:
+        rows = cursor.drain()
     return SelectionResult(rows, op.scanned, len(rows))

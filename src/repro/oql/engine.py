@@ -111,9 +111,9 @@ class OQLEngine:
 
     def execute(self, source: str | Query) -> list[tuple]:
         """Run a query; rows come back as tuples in select-clause order."""
-        cursor = self.execute_iter(source)
-        rows = cursor.drain()
-        self.last_stats = cursor.stats
+        with self.execute_iter(source) as cursor:
+            rows = cursor.drain()
+            self.last_stats = cursor.stats
         return rows
 
     # -- selections -----------------------------------------------------

@@ -9,6 +9,13 @@ volatile.  :mod:`repro.recovery.fuzz` is the seeded correctness checker
 that crashes random workloads at random points and verifies the
 committed-visible / uncommitted-gone contract after restart.
 
+:mod:`repro.recovery.transient` covers the *survivable* failure modes:
+a :class:`TransientFaultInjector` arms seeded transient page-read
+faults (retried with backoff by the disk, escalated to
+:class:`~repro.errors.PermanentIOError` when sticky) and lock-timeout
+storms; the chaos checker over workload mixes lives in
+:mod:`repro.service.chaos` (the service layer sits above recovery).
+
 See ``docs/recovery.md`` for the log format and the recovery protocol.
 """
 
@@ -20,11 +27,13 @@ from repro.recovery.fuzz import (
     run_fuzz,
     summarize,
 )
+from repro.recovery.transient import TransientFaultInjector
 
 __all__ = [
     "CRASH_POINTS",
     "CrashInjector",
     "FuzzResult",
+    "TransientFaultInjector",
     "RecoveryReport",
     "crash_database",
     "restart",

@@ -12,9 +12,20 @@ scenario:
 * a lock *wait* protocol (FIFO queues, timeouts, waits-for deadlock
   detection) living in :class:`repro.txn.locks.LockManager`;
 * :class:`WorkloadMixer` — parameterized navigator/scanner/updater mixes
-  with per-session and aggregate throughput/latency/abort metrics.
+  with per-session and aggregate throughput/latency/abort metrics;
+* :class:`ResourceGovernor` — per-query/per-session budgets, cooperative
+  cancellation, seeded retry backoff (:class:`RetryPolicy`) and FIFO
+  admission control (:class:`AdmissionGate`);
+* :mod:`repro.service.chaos` — the seeded chaos checker that runs mixes
+  under injected transient faults and asserts the robustness contract.
 """
 
+from repro.service.governor import (
+    AdmissionGate,
+    QueryBudget,
+    ResourceGovernor,
+    RetryPolicy,
+)
 from repro.service.scheduler import CooperativeScheduler, Task, TaskState
 from repro.service.service import QueryService, Session, SessionMetrics
 from repro.service.workload import (
@@ -26,10 +37,14 @@ from repro.service.workload import (
 )
 
 __all__ = [
+    "AdmissionGate",
     "CooperativeScheduler",
     "Task",
     "TaskState",
+    "QueryBudget",
     "QueryService",
+    "ResourceGovernor",
+    "RetryPolicy",
     "Session",
     "SessionMetrics",
     "MixConfig",

@@ -89,6 +89,8 @@ class CooperativeScheduler:
         self._current: Task | None = None
         self._rr_next = 0  # round-robin cursor
         self._blocked_txns: dict[int, Task] = {}
+        #: session id -> task blocked in the admission gate's queue.
+        self._blocked_admission: dict[int, Task] = {}
         self.context_switches = 0
         #: Yields taken at operator batch boundaries (see batch_point).
         self.batch_yields = 0
@@ -216,6 +218,61 @@ class CooperativeScheduler:
             if task is not None and task.state is TaskState.BLOCKED:
                 task.state = TaskState.READY
 
+    def wait_for_admission(self, session_id: int) -> None:
+        """Block the current task until the admission gate promotes it
+        (:meth:`notify_admitted`) — the admission-queue analogue of
+        :meth:`wait_for_lock`.  Raises the abort exception when the
+        waiter is cancelled while queued."""
+        with self._cv:
+            me = self._current
+            if me is None:
+                raise ServiceError(
+                    "wait_for_admission outside a scheduled slice"
+                )
+            me.state = TaskState.BLOCKED
+            me.abort_exc = None
+            self._blocked_admission[session_id] = me
+            self._current = None
+            self._schedule_next()
+            while self._current is not me:
+                self._cv.wait()
+            self._blocked_admission.pop(session_id, None)
+            if me.abort_exc is not None:
+                exc, me.abort_exc = me.abort_exc, None
+                raise exc
+
+    def notify_admitted(self, session_id: int) -> None:
+        """A queued session reached the head of the admission queue."""
+        with self._cv:
+            task = self._blocked_admission.get(session_id)
+            if task is not None and task.state is TaskState.BLOCKED:
+                task.state = TaskState.READY
+
+    def interrupt(
+        self,
+        task: Task | None,
+        exc: BaseException,
+        txn_id: int | None = None,
+    ) -> bool:
+        """Deliver ``exc`` at ``task``'s wait point *now*, if it is
+        blocked (lock wait or admission wait); returns whether delivery
+        happened.  A running/ready task cannot be interrupted here — its
+        flag-based checkpoint will catch it instead."""
+        with self._cv:
+            if task is None or task.state is not TaskState.BLOCKED:
+                return False
+            if txn_id is not None and self.locks is not None:
+                if self._blocked_txns.get(txn_id) is task:
+                    self.locks.cancel_wait(txn_id)
+            task.abort_exc = exc
+            task.state = TaskState.READY
+            return True
+
+    def in_slice(self) -> bool:
+        """Is the calling code running inside a scheduled slice?"""
+        with self._cv:
+            return self._current is not None
+
     # -- internals ----------------------------------------------------------
 
     def _schedule_next(self) -> None:
@@ -250,14 +307,20 @@ class CooperativeScheduler:
     def _expire_timeouts(self) -> None:
         if self.locks is None:
             return
-        for txn_id in self.locks.expired_waiters():
+        expired = self.locks.expired_waiters()
+        if not expired:
+            return
+        # The effective timeout may be tightened by an injected
+        # lock-timeout storm (see LockManager.effective_timeout_s).
+        timeout_s = self.locks.effective_timeout_s()
+        for txn_id in expired:
             task = self._blocked_txns.get(txn_id)
             if task is None or task.state is not TaskState.BLOCKED:
                 continue
             self.locks.cancel_wait(txn_id)
             task.abort_exc = LockTimeoutError(
                 f"txn {txn_id} ({task.name}) waited longer than "
-                f"{self.locks.timeout_s:g} simulated s for a lock"
+                f"{timeout_s:g} simulated s for a lock"
             )
             task.state = TaskState.READY
 

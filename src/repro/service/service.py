@@ -27,8 +27,9 @@ from repro.buffer import BufferCache, LRUPolicy
 from repro.errors import ServiceError
 from repro.objects.handle import HandleTable
 from repro.oql import Catalog, OQLEngine
+from repro.service.governor import QueryBudget, ResourceGovernor
 from repro.service.scheduler import CooperativeScheduler, Task
-from repro.simtime import MeterSnapshot
+from repro.simtime import Bucket, MeterSnapshot
 from repro.storage.rid import Rid
 from repro.txn import Transaction, TransactionManager
 
@@ -50,6 +51,17 @@ class SessionMetrics:
     aborted: int = 0
     deadlocks: int = 0
     timeouts: int = 0
+    #: Operations re-attempted after a deadlock / lock-timeout abort
+    #: (counted separately from aborts so throughput stays honest).
+    retries: int = 0
+    #: Operations that exhausted their retry budget and were abandoned.
+    gave_up: int = 0
+    #: Operations stopped by :meth:`Session.cancel`.
+    cancelled: int = 0
+    #: Operations stopped by a resource budget / statement timeout.
+    over_budget: int = 0
+    #: Operations lost to an escalated (permanent) I/O failure.
+    io_failures: int = 0
     queries: int = 0
     updates: int = 0
     rows: int = 0
@@ -67,6 +79,8 @@ class SessionMetrics:
     busy_s: float = 0.0
     #: Simulated seconds spent suspended on lock waits.
     lock_wait_s: float = 0.0
+    #: Simulated seconds spent queued in the admission gate.
+    queue_wait_s: float = 0.0
     #: Per-committed-operation response times (submit -> commit, on the
     #: shared timeline, so they include time consumed by other sessions).
     latencies_s: list[float] = field(default_factory=list)
@@ -144,22 +158,32 @@ class Session:
 
     def execute(self, oql: str) -> list:
         """Run an OQL query through this session's engine (and caches),
-        yielding the scheduler baton at every operator batch boundary."""
+        yielding the scheduler baton at every operator batch boundary.
+        The governor checks budgets/cancellation per batch; on any
+        failure the cursor's context manager closes the pipeline, so no
+        handle or buffer outlives the error."""
+        governor = self.service.governor
         rows: list = []
-        for batch in self.execute_iter(oql).batches():
-            rows.extend(batch)
-            self.service.scheduler.batch_point()
+        with self.execute_iter(oql) as cursor:
+            for batch in cursor.batches():
+                rows.extend(batch)
+                governor.checkpoint(self)
+                self.service.scheduler.batch_point()
         return rows
 
     def execute_iter(self, oql: str, batch_size: int | None = None):
         """Open a streaming cursor over an OQL query.  The caller pulls
         batches (and decides when to yield); metrics are folded in as
-        batches arrive and when the pipeline closes."""
+        batches arrive and when the pipeline closes.  The statement
+        budget clock starts here and stops when the cursor closes."""
         cursor = self.engine.execute_iter(oql, batch_size or self.batch_size)
         metrics = self.metrics
         metrics.queries += 1
+        governor = self.service.governor
+        governor.begin_statement(self, cursor)
 
         def on_close() -> None:
+            governor.end_statement(self)
             stats = cursor.stats
             metrics.rows += stats.rows
             metrics.batches += stats.batches
@@ -199,6 +223,45 @@ class Session:
         """Voluntarily yield to the other sessions ("think time")."""
         self.service.scheduler.yield_point()
 
+    def backoff(self, seconds: float) -> None:
+        """Back off before a retry: charges ``seconds`` to the BACKOFF
+        bucket on the shared clock — on a single deterministic timeline,
+        sleeping means letting the other sessions spend that time — and
+        yields the baton."""
+        if seconds > 0:
+            self.service.db.clock.charge_s(Bucket.BACKOFF, seconds)
+        self.service.scheduler.yield_point()
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Cancel this session's current operation (callable from any
+        other session, or from outside the run).  Cooperative: the
+        victim raises :class:`~repro.errors.QueryCancelledError` at its
+        next page fault / batch boundary, or immediately at its wait
+        point if it is blocked."""
+        self.service.governor.cancel(self, reason)
+
+    @contextmanager
+    def admitted(self) -> Iterator["Session"]:
+        """Hold an admission-gate slot for the duration (a no-op when
+        the service has no admission control).  Enter *before*
+        ``begin()`` — admission waiters must hold no locks, which is
+        what keeps admission waits out of every deadlock cycle."""
+        gate = self.service.governor.gate
+        if gate is None:
+            yield self
+            return
+        if self.txn is not None and self.txn.state == "active":
+            raise ServiceError(
+                f"session {self.name!r} entered admission holding an open "
+                "transaction (waiters must hold no locks)"
+            )
+        waited_s = gate.enter(self)
+        self.metrics.queue_wait_s += waited_s
+        try:
+            yield self
+        finally:
+            gate.leave(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Session {self.name}>"
 
@@ -213,6 +276,9 @@ class QueryService:
         server_cache_pages: int | None = None,
         client_cache_pages: int | None = None,
         recovery: bool = False,
+        query_budget: QueryBudget | None = None,
+        session_budget: QueryBudget | None = None,
+        max_active: int | None = None,
     ):
         self.derby = derby
         self.db = derby.db
@@ -222,6 +288,14 @@ class QueryService:
         self.txm.locks.timeout_s = lock_timeout_s
         self.scheduler = CooperativeScheduler(
             self.db.clock, self.txm.locks, on_switch=self._on_switch
+        )
+        #: Budgets, cancellation and (with ``max_active``) admission
+        #: control — see :mod:`repro.service.governor`.
+        self.governor = ResourceGovernor(
+            self,
+            query_budget=query_budget,
+            session_budget=session_budget,
+            max_active=max_active,
         )
         self.client_cache_pages = client_cache_pages
         self.sessions: list[Session] = []
@@ -266,7 +340,7 @@ class QueryService:
     def run(self) -> list[Task]:
         """Interleave every spawned session body to completion."""
         system = self.db.system
-        system.on_fault = self.scheduler.yield_point
+        system.on_fault = self._fault_point
         self._last_s = self.db.clock.elapsed_s
         self._last_meters = self.db.counters.snapshot()
         try:
@@ -356,6 +430,17 @@ class QueryService:
             system.server_cache = self._base_server_cache
 
     # -- switch accounting --------------------------------------------------
+
+    def _fault_point(self) -> None:
+        """The client-page-fault hook during :meth:`run`: a governor
+        check point on both sides of the scheduler yield.  The check
+        *after* the yield is what caps a cancelled scan's I/O — a cancel
+        flagged while the victim was suspended is raised before the
+        victim charges its next page."""
+        governor = self.governor
+        governor.checkpoint(self._active)
+        self.scheduler.yield_point()
+        governor.checkpoint(self._active)
 
     def _on_switch(self, task: Task) -> None:
         self._accrue()

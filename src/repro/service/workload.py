@@ -28,16 +28,21 @@ from typing import TYPE_CHECKING
 from repro.bench.report import Table
 from repro.errors import (
     DeadlockError,
+    GovernorError,
     LockConflictError,
     LockTimeoutError,
+    PermanentIOError,
+    QueryCancelledError,
     ServiceError,
     SimulatedCrashError,
 )
+from repro.service.governor import QueryBudget, RetryPolicy
 from repro.service.service import QueryService, Session, SessionMetrics
+from repro.storage.rid import Rid
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.loader import DerbyDatabase
-    from repro.recovery import CrashInjector
+    from repro.recovery import CrashInjector, TransientFaultInjector
     from repro.stats.store import StatsDatabase
 
 #: Profile names, in the order ``MixConfig.from_clients`` deals them.
@@ -59,6 +64,21 @@ class MixConfig:
     lock_timeout_s: float | None = None
     #: Retries after a deadlock/timeout abort before giving up on an op.
     max_retries: int = 2
+    #: Backoff before the first retry (simulated seconds; doubles per
+    #: retry, jittered from the session's seeded stream).
+    retry_backoff_s: float = 0.02
+    #: Jitter fraction of the retry backoff (see ``RetryPolicy``).
+    retry_jitter: float = 0.5
+    #: Per-statement budgets (``None``: unbounded) — see ``QueryBudget``.
+    budget_pages: int | None = None
+    budget_busy_s: float | None = None
+    budget_rows: int | None = None
+    statement_timeout_s: float | None = None
+    #: Admission control: sessions running an operation concurrently
+    #: (``None``: no gate).  The rest queue FIFO.
+    max_active: int | None = None
+    #: Force physical logging even without a crash/fault injector.
+    recovery: bool = False
     #: Children a navigator visits per provider.
     navigator_fanout: int = 8
     #: Selectivity (percent) of the scanner's OQL selection.
@@ -126,6 +146,9 @@ class MixReport:
     #: ``True`` when a :class:`~repro.recovery.CrashInjector` killed the
     #: run; the mixer's service is left crashed, awaiting ``recover()``.
     crashed: bool = False
+    #: Deepest the admission gate's FIFO queue ever got (0 without
+    #: admission control).
+    max_queue_depth: int = 0
 
     @property
     def committed(self) -> int:
@@ -144,6 +167,30 @@ class MixReport:
         return sum(s.metrics.timeouts for s in self.sessions)
 
     @property
+    def retries(self) -> int:
+        return sum(s.metrics.retries for s in self.sessions)
+
+    @property
+    def gave_up(self) -> int:
+        return sum(s.metrics.gave_up for s in self.sessions)
+
+    @property
+    def cancelled(self) -> int:
+        return sum(s.metrics.cancelled for s in self.sessions)
+
+    @property
+    def over_budget(self) -> int:
+        return sum(s.metrics.over_budget for s in self.sessions)
+
+    @property
+    def io_failures(self) -> int:
+        return sum(s.metrics.io_failures for s in self.sessions)
+
+    @property
+    def queue_wait_s(self) -> float:
+        return sum(s.metrics.queue_wait_s for s in self.sessions)
+
+    @property
     def throughput_ops_s(self) -> float:
         """Committed transactions per simulated second, all sessions."""
         if self.elapsed_s <= 0:
@@ -156,23 +203,28 @@ class MixReport:
             f"{self.config.scanners} scanner(s) + "
             f"{self.config.updaters} updater(s), "
             f"{self.config.ops_per_client} ops each",
-            ["Session", "Profile", "Committed", "Aborted", "Deadlocks",
-             "Timeouts", "Busy (s)", "Wait (s)", "Mean lat (s)",
-             "Ops/s"],
+            ["Session", "Profile", "Committed", "Aborted", "Retries",
+             "Deadlocks", "Timeouts", "Cancel", "OverBudget", "Busy (s)",
+             "Wait (s)", "Queue (s)", "Mean lat (s)", "Ops/s"],
         )
         for s in self.sessions:
             m = s.metrics
             table.add(
-                s.name, s.profile, m.committed, m.aborted, m.deadlocks,
-                m.timeouts, m.busy_s, m.lock_wait_s, m.mean_latency_s,
+                s.name, s.profile, m.committed, m.aborted, m.retries,
+                m.deadlocks, m.timeouts, m.cancelled, m.over_budget,
+                m.busy_s, m.lock_wait_s, m.queue_wait_s, m.mean_latency_s,
                 s.throughput_ops_s,
             )
-        table.note(
+        note = (
             f"aggregate: {self.committed} committed, {self.aborted} "
-            f"aborted in {self.elapsed_s:.2f} simulated s -> "
+            f"aborted ({self.retries} retried, {self.gave_up} gave up) in "
+            f"{self.elapsed_s:.2f} simulated s -> "
             f"{self.throughput_ops_s:.3f} txn/s; "
             f"{self.context_switches} context switches"
         )
+        if self.max_queue_depth:
+            note += f"; admission queue depth peaked at {self.max_queue_depth}"
+        table.note(note)
         return table
 
 
@@ -185,6 +237,7 @@ class WorkloadMixer:
         config: MixConfig,
         stats: "StatsDatabase | None" = None,
         injector: "CrashInjector | None" = None,
+        faults: "TransientFaultInjector | None" = None,
     ):
         self.derby = derby
         self.config = config
@@ -192,9 +245,19 @@ class WorkloadMixer:
         #: Arming an injector switches the service to ``recovery=True``
         #: (physical logging) so a mid-mix crash is recoverable.
         self.injector = injector
+        #: Transient faults (flaky reads, lock-timeout storms) the run
+        #: is expected to *survive*; also forces ``recovery=True`` so
+        #: fault-driven aborts roll back physically.
+        self.faults = faults
         #: The service of the last :meth:`run` — after a crash, call
         #: ``self.service.recover()`` on it.
         self.service: QueryService | None = None
+        #: Committed writes in ack order: ``(rid, value)`` appended the
+        #: moment each updater's ``commit()`` returns.  The single
+        #: deterministic timeline totally orders commits, so the last
+        #: write per rid is the expected durable value — the chaos
+        #: checker's oracle.
+        self.write_log: list[tuple[Rid, int]] = []
 
     # -- the run ------------------------------------------------------------
 
@@ -204,16 +267,31 @@ class WorkloadMixer:
             raise ServiceError("a mix needs at least one client")
         if cold:
             self.derby.start_cold_run()
+        self.write_log = []
+        query_budget = QueryBudget(
+            max_pages=config.budget_pages,
+            max_busy_s=config.budget_busy_s,
+            max_live_rows=config.budget_rows,
+            statement_timeout_s=config.statement_timeout_s,
+        )
         service = QueryService(
             self.derby,
             lock_timeout_s=config.lock_timeout_s,
             server_cache_pages=config.server_cache_pages,
             client_cache_pages=config.client_cache_pages,
-            recovery=self.injector is not None,
+            recovery=(
+                config.recovery
+                or self.injector is not None
+                or self.faults is not None
+            ),
+            query_budget=query_budget if query_budget.armed else None,
+            max_active=config.max_active,
         )
         self.service = service
         if self.injector is not None:
             self.injector.arm(service.db, service.txm.log)
+        if self.faults is not None:
+            self.faults.arm(service.db, service.txm.locks)
         reports: list[SessionReport] = []
         start_s = self.derby.db.clock.elapsed_s
         spawned = 0
@@ -233,27 +311,35 @@ class WorkloadMixer:
                 reports.append(SessionReport(session.name, profile,
                                              session.metrics))
                 spawned += 1
-        tasks = service.run()
-        crashed = any(
-            isinstance(t.error, SimulatedCrashError) for t in tasks
-        )
-        if crashed:
-            # Volatile state is meaningless past the crash point; do NOT
-            # close() (that would flush post-crash pages to disk).  Drop
-            # everything volatile so only durable state remains, leaving
-            # self.service ready for recover().
-            service.crash()
-        else:
-            service.close()
-            for task in tasks:
-                if task.error is not None:
-                    raise task.error
+        try:
+            tasks = service.run()
+            crashed = any(
+                isinstance(t.error, SimulatedCrashError) for t in tasks
+            )
+            if crashed:
+                # Volatile state is meaningless past the crash point; do
+                # NOT close() (that would flush post-crash pages to
+                # disk).  Drop everything volatile so only durable state
+                # remains, leaving self.service ready for recover().
+                service.crash()
+            else:
+                service.close()
+                for task in tasks:
+                    if task.error is not None:
+                        raise task.error
+        finally:
+            # The disk and derby outlive this service; leaving transient
+            # faults armed would corrupt later runs on the same derby.
+            if self.faults is not None:
+                self.faults.disarm(service.db, service.txm.locks)
+        gate = service.governor.gate
         report = MixReport(
             config=config,
             sessions=reports,
             elapsed_s=self.derby.db.clock.elapsed_s - start_s,
             context_switches=service.scheduler.context_switches,
             crashed=crashed,
+            max_queue_depth=gate.max_queue_depth if gate is not None else 0,
         )
         if self.stats is not None and not crashed:
             self._record(report)
@@ -269,24 +355,55 @@ class WorkloadMixer:
         }[profile]
         clock = self.derby.db.clock
         config = self.config
+        policy = RetryPolicy(
+            max_retries=config.max_retries,
+            base_backoff_s=config.retry_backoff_s,
+            jitter=config.retry_jitter,
+        )
+
+        def abort_open_txn() -> None:
+            if session.txn is not None and session.txn.state == "active":
+                session.abort()
 
         def body() -> None:
+            metrics = session.metrics
             for __ in range(config.ops_per_client):
                 started_s = clock.elapsed_s
-                for attempt in range(config.max_retries + 1):
+                attempt = 0
+                while True:
                     try:
-                        op(session, rng)
+                        with session.admitted():
+                            op(session, rng)
                     except LockConflictError as exc:
-                        if session.txn is not None and \
-                                session.txn.state == "active":
-                            session.abort()
+                        # Transient: the victim of a deadlock or a lock
+                        # timeout retries with seeded backoff + jitter.
+                        abort_open_txn()
                         if isinstance(exc, DeadlockError):
-                            session.metrics.deadlocks += 1
+                            metrics.deadlocks += 1
                         elif isinstance(exc, LockTimeoutError):
-                            session.metrics.timeouts += 1
-                        session.pause()  # let the conflict drain
+                            metrics.timeouts += 1
+                        if attempt >= policy.max_retries:
+                            metrics.gave_up += 1
+                            break
+                        metrics.retries += 1
+                        session.backoff(policy.backoff_s(attempt, rng))
+                        attempt += 1
+                    except PermanentIOError:
+                        # A read fault that out-lasted the disk's own
+                        # retry budget: the op is lost, not retried (the
+                        # page is "broken", trying again changes nothing).
+                        abort_open_txn()
+                        metrics.io_failures += 1
+                        metrics.gave_up += 1
+                        break
+                    except GovernorError:
+                        # Cancelled or over budget: stopped on purpose,
+                        # never retried.  The governor already counted
+                        # the outcome (cancelled / over_budget).
+                        abort_open_txn()
+                        break
                     else:
-                        session.metrics.latencies_s.append(
+                        metrics.latencies_s.append(
                             clock.elapsed_s - started_s
                         )
                         break
@@ -337,10 +454,16 @@ class WorkloadMixer:
         session.write_lock(rid_a)
         session.pause()  # the window in which opposite-order pairs deadlock
         session.write_lock(rid_b)
+        writes: list[tuple[Rid, int]] = []
         for rid in (rid_a, rid_b):
             age = session.get_attr(rid, "age")
-            session.update_scalar(rid, "age", (int(age) % 90) + 1)
+            value = (int(age) % 90) + 1
+            session.update_scalar(rid, "age", value)
+            writes.append((rid, value))
         session.commit()
+        # Ack order on the single timeline == commit order: the oracle
+        # the chaos checker verifies durable state against.
+        self.write_log.extend(writes)
 
     # -- stats recording -----------------------------------------------------
 
@@ -375,4 +498,7 @@ class WorkloadMixer:
                 client_cache_bytes=client_bytes,
                 first_row_ms=s.metrics.mean_first_row_ms,
                 peak_rows=s.metrics.peak_rows,
+                retries=s.metrics.retries,
+                cancelled=s.metrics.cancelled,
+                over_budget=s.metrics.over_budget,
             )

@@ -28,6 +28,7 @@ class Bucket(enum.Enum):
     LOG = "log"              # WAL traffic
     LOCK = "lock"            # lock manager
     LOAD = "load"            # object creation / record moves
+    BACKOFF = "backoff"      # retry backoff after aborts / faults
 
 
 @dataclass

@@ -30,6 +30,8 @@ class CounterSet:
     handles_allocated: int = 0   # full + compact handles created
     handles_unreferenced: int = 0
     records_moved: int = 0       # on-disk record reallocations
+    io_faults: int = 0           # transient page-read faults retried
+    io_failures: int = 0         # reads escalated to PermanentIOError
 
     def reset(self) -> None:
         for f in fields(self):
@@ -58,6 +60,8 @@ class MeterSnapshot:
     handles_allocated: int = 0
     handles_unreferenced: int = 0
     records_moved: int = 0
+    io_faults: int = 0
+    io_failures: int = 0
 
     def __sub__(self, other: "MeterSnapshot") -> "MeterSnapshot":
         return MeterSnapshot(

@@ -96,6 +96,10 @@ class CostParams:
     page_transfer_ms: float = 1.0
     #: Fixed overhead per client/server RPC.
     rpc_overhead_ms: float = 0.2
+    #: Base delay before re-trying a transient page-read fault; the
+    #: disk doubles it per attempt (bounded retry-with-backoff, see
+    #: ``DiskManager.read_page``).
+    io_retry_backoff_ms: float = 2.0
     #: Extra penalty per page when the OS swaps query working memory
     #: (thrashing reads *and* dirty-page writes, hence > page_read_ms;
     #: calibrated so Figure 12's 90/90 cell reproduces the paper's

@@ -28,6 +28,9 @@ _CSV_COLUMNS = (
     "sc_missrate",
     "first_row_ms",
     "peak_rows",
+    "retries",
+    "cancelled",
+    "over_budget",
 )
 
 
@@ -65,6 +68,10 @@ _MIX_COLUMNS = (
     "disk_reads",
     "first_row_ms",
     "peak_rows",
+    "retries",
+    "cancelled",
+    "over_budget",
+    "queue_wait_ms",
 )
 
 
@@ -95,6 +102,10 @@ def mix_to_csv(report) -> str:
             m.meters.disk_reads,
             m.mean_first_row_ms,
             m.peak_rows,
+            m.retries,
+            m.cancelled,
+            m.over_budget,
+            m.queue_wait_s * 1_000.0,
         )
         out.write(
             ",".join(

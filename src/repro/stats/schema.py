@@ -90,6 +90,11 @@ def build_stats_schema() -> Schema:
             # mark of rows buffered across the operator tree.
             AttributeDef("FirstRowTime", AttrKind.REAL64),
             AttributeDef("PeakLiveRows", AttrKind.INT32),
+            # Governor instrumentation: retried statements, cooperative
+            # cancellations delivered, and budget-exceeded aborts.
+            AttributeDef("Retries", AttrKind.INT32),
+            AttributeDef("Cancelled", AttrKind.INT32),
+            AttributeDef("OverBudget", AttrKind.INT32),
         ],
     )
     return schema

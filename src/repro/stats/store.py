@@ -52,6 +52,12 @@ class StatRow:
     first_row_ms: float = 0.0
     #: High-water mark of rows buffered across the operator tree.
     peak_rows: int = 0
+    #: Statements retried after a deadlock/lock-timeout abort.
+    retries: int = 0
+    #: Cooperative cancellations delivered by the resource governor.
+    cancelled: int = 0
+    #: Statements aborted for exceeding a resource budget.
+    over_budget: int = 0
 
 
 class StatsDatabase:
@@ -84,6 +90,9 @@ class StatsDatabase:
         client_cache_bytes: int = 0,
         first_row_ms: float = 0.0,
         peak_rows: int = 0,
+        retries: int = 0,
+        cancelled: int = 0,
+        over_budget: int = 0,
     ) -> Rid:
         """Persist one experiment; returns the Stat's rid."""
         self._numtest += 1
@@ -124,6 +133,9 @@ class StatsDatabase:
                 "SCMissrate": round(meters.server_miss_rate * 100),
                 "FirstRowTime": first_row_ms,
                 "PeakLiveRows": peak_rows,
+                "Retries": retries,
+                "Cancelled": cancelled,
+                "OverBudget": over_budget,
             },
             _FILE,
         )
@@ -175,6 +187,9 @@ class StatsDatabase:
                 sc_missrate=stat["SCMissrate"],
                 first_row_ms=stat["FirstRowTime"],
                 peak_rows=stat["PeakLiveRows"],
+                retries=stat["Retries"],
+                cancelled=stat["Cancelled"],
+                over_budget=stat["OverBudget"],
             )
             if algo is not None and row.algo != algo:
                 continue

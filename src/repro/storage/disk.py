@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator, Protocol
 
-from repro.errors import StorageError
+from repro.errors import PermanentIOError, StorageError
 from repro.simtime import Bucket, CostParams, CounterSet, SimClock
 from repro.storage.page import Page, PageImage
 from repro.units import PAGE_SIZE
@@ -56,6 +56,13 @@ class DiskManager:
         self.wal = None
         #: Optional :class:`~repro.recovery.CrashInjector` hook.
         self.injector = None
+        #: Optional :class:`~repro.recovery.TransientFaultInjector`:
+        #: consulted per read attempt; a faulted read is retried with
+        #: exponential backoff up to :attr:`read_retry_limit` times and
+        #: then escalated to :class:`~repro.errors.PermanentIOError`.
+        self.faults = None
+        #: Retries before a persistently faulting read is escalated.
+        self.read_retry_limit = 3
         # What actually survives a crash.  Page objects are shared with
         # the caches and mutated in place, so the content that is truly
         # on disk is the image captured at the last write_page() call.
@@ -93,10 +100,36 @@ class DiskManager:
     # -- physical I/O (charged) ------------------------------------------
 
     def read_page(self, file_id: int, page_no: int) -> Page:
-        """Read one page from disk: charges latency, counts the read."""
+        """Read one page from disk: charges latency, counts the read.
+
+        When a :attr:`faults` injector is armed, each attempt may suffer
+        a seeded transient fault: the read is charged anyway (the
+        controller noticed the error only after the transfer), a backoff
+        delay doubling per attempt is charged, and the read is retried.
+        Past :attr:`read_retry_limit` retries the fault is treated as
+        permanent and :class:`~repro.errors.PermanentIOError` aborts the
+        operation.
+        """
         page = self._page(file_id, page_no)
         self.counters.disk_reads += 1
         self.clock.charge_ms(Bucket.IO, self.params.page_read_ms)
+        if self.faults is not None:
+            attempt = 0
+            while self.faults.read_fails(file_id, page_no, attempt):
+                self.counters.io_faults += 1
+                attempt += 1
+                if attempt > self.read_retry_limit:
+                    self.counters.io_failures += 1
+                    raise PermanentIOError(
+                        f"page ({file_id}, {page_no}): read failed "
+                        f"{attempt} times (transient fault escalated)"
+                    )
+                self.clock.charge_ms(
+                    Bucket.IO,
+                    self.params.io_retry_backoff_ms * (2 ** (attempt - 1)),
+                )
+                self.counters.disk_reads += 1
+                self.clock.charge_ms(Bucket.IO, self.params.page_read_ms)
         return page
 
     def write_page(self, file_id: int, page_no: int) -> None:

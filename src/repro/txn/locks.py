@@ -88,6 +88,12 @@ class LockManager:
         #: Simulated seconds a request may wait before it times out
         #: (``None``: wait forever, rely on deadlock detection).
         self.timeout_s = timeout_s
+        #: Optional :class:`~repro.recovery.TransientFaultInjector`:
+        #: during one of its seeded *lock-timeout storms* the effective
+        #: timeout shrinks, so waiters that would normally be patient
+        #: abort in bursts (the transient-fault analogue of a congested
+        #: lock service).
+        self.injector = None
         self._locks: dict[Rid, _LockState] = {}
         self._wait: Callable[[int, Rid], None] | None = None
         self._wake: Callable[[int], None] | None = None
@@ -268,16 +274,26 @@ class LockManager:
         return None
 
     def expired_waiters(self) -> list[int]:
-        """Txns whose queued request has waited past ``timeout_s``."""
-        if self.timeout_s is None:
+        """Txns whose queued request has waited past the effective
+        timeout (``timeout_s``, shrunk during an injected storm)."""
+        timeout_s = self.effective_timeout_s()
+        if timeout_s is None:
             return []
         now = self.clock.elapsed_s
         out: list[int] = []
         for state in self._locks.values():
             for req in state.queue:
-                if now - req.enqueued_s >= self.timeout_s:
+                if now - req.enqueued_s >= timeout_s:
                     out.append(req.txn_id)
         return sorted(set(out))
+
+    def effective_timeout_s(self) -> float | None:
+        """``timeout_s``, tightened by an active lock-timeout storm."""
+        if self.injector is None:
+            return self.timeout_s
+        return self.injector.lock_timeout_s(
+            self.timeout_s, self.clock.elapsed_s
+        )
 
     # -- introspection ------------------------------------------------------
 

@@ -476,8 +476,10 @@ class TestStatsPlumbing:
         assert rows[1].peak_rows == 0
         csv = to_csv(rows)
         header, first, __ = csv.splitlines()
-        assert header.endswith("first_row_ms,peak_rows")
-        assert first.endswith("12.5000,77")
+        assert header.endswith(
+            "first_row_ms,peak_rows,retries,cancelled,over_budget"
+        )
+        assert first.endswith("12.5000,77,0,0,0")
 
     def test_mix_records_and_exports_pipeline_columns(self):
         from repro.stats import StatsDatabase, mix_to_csv
@@ -494,11 +496,15 @@ class TestStatsPlumbing:
         assert scanner_stat[0].peak_rows > 0
         csv = mix_to_csv(report)
         lines = csv.splitlines()
-        assert lines[0].endswith("first_row_ms,peak_rows")
+        header = lines[0].split(",")
+        assert header[-6:] == [
+            "first_row_ms", "peak_rows", "retries",
+            "cancelled", "over_budget", "queue_wait_ms",
+        ]
         scanner_line = next(
             line for line in lines if line.startswith("scanner")
         )
-        peak = int(scanner_line.rsplit(",", 1)[1])
+        peak = int(scanner_line.split(",")[header.index("peak_rows")])
         assert peak > 0
 
     def test_mix_cli_accepts_batch_size(self, capsys):
