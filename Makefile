@@ -1,4 +1,4 @@
-.PHONY: install test lint bench figures mix pipeline recover chaos shell artifacts clean
+.PHONY: install test lint bench figures mix pipeline recover chaos shell analyze optimizer artifacts clean
 
 PYTHON ?= python
 # Run the package from the source tree; `make install` is optional.
@@ -46,6 +46,17 @@ recover:
 chaos:
 	$(PYTHON) -m repro chaos --cases 200
 	$(PYTHON) benchmarks/bench_governor.py
+
+# Collect optimizer statistics (ANALYZE) and persist them through the
+# self-hosted statistics database.
+analyze:
+	$(PYTHON) -m repro analyze
+
+# Cost-based vs. heuristic planner leaderboard over the Figure 10-15
+# matrix -> BENCH_optimizer.json + results/optimizer_leaderboard.txt;
+# exits nonzero on any semantic mismatch or plan regression.
+optimizer:
+	$(PYTHON) benchmarks/bench_optimizer.py
 
 shell:
 	$(PYTHON) -m repro shell

@@ -23,6 +23,16 @@ Commands
     named crash point and restarts it through ARIES-lite;
     ``crash fuzz`` runs the seeded (workload x crash point) checker
     grid and exits nonzero on any recovery-contract violation.
+``analyze``
+    Collect optimizer statistics (extent cardinalities, equi-depth
+    histograms, association fan-out) over a freshly built database,
+    print the summary and the simulated cost, and persist the rows
+    through the statistics database (``repro.stats``).
+``calibrate``
+    Run a measurement grid, fit the cost model coefficients by least
+    squares, and score the heuristic optimizer against the measured
+    winners (the old ``analyze`` command, renamed: ANALYZE now means
+    what it means in a database).
 ``info``
     Print the cost model and memory budgets in use.
 ``lint``
@@ -54,7 +64,7 @@ from repro.bench.figures import (
 from repro.cluster import load_derby
 from repro.derby import DerbyConfig
 from repro.derby.config import Clustering
-from repro.oql import Catalog, OQLEngine
+from repro.oql import Catalog, OQLEngine, Query, parse_statement
 from repro.errors import ReproError
 from repro.units import MB
 
@@ -68,6 +78,25 @@ _DB_MAKERS = {
 def _make_config(args: argparse.Namespace) -> DerbyConfig:
     maker = _DB_MAKERS[args.db]
     return maker(scale=args.scale, clustering=_CLUSTERING[args.clustering])
+
+
+def _add_optimizer_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--optimizer", choices=("heuristic", "cost"), default="heuristic",
+        help="query planner: the default heuristic planner, or the "
+        "statistics-driven cost-based planner (run 'analyze' in the "
+        "shell to feed it)",
+    )
+
+
+def _make_plan_optimizer(args: argparse.Namespace, catalog: Catalog):
+    """The ``optimizer=`` argument for :class:`OQLEngine` (``None``
+    keeps the engine's own heuristic planner)."""
+    if args.optimizer == "cost":
+        from repro.opt import CostBasedOptimizer
+
+        return CostBasedOptimizer(catalog)
+    return None
 
 
 def _add_db_options(parser: argparse.ArgumentParser) -> None:
@@ -154,11 +183,16 @@ def cmd_shell(args: argparse.Namespace) -> int:
           f"{config.n_patients} patients "
           f"({config.clustering.value} clustering) ...")
     derby = load_derby(config)
-    engine = OQLEngine(Catalog.from_derby(derby))
-    print("OQL shell — try:")
+    catalog = Catalog.from_derby(derby)
+    engine = OQLEngine(
+        catalog, optimizer=_make_plan_optimizer(args, catalog)
+    )
+    print(f"OQL shell ({args.optimizer} planner) — try:")
     print("  select count(p) from p in Patients where p.mrn < 1000")
     print("  select tuple(n: p.name, a: pa.age) from p in Providers, "
           "pa in p.clients where pa.mrn < 500 and p.upin < 5")
+    print("  analyze              -- collect optimizer statistics")
+    print("  explain <query>      -- plan, run, compare estimates")
     print("Type 'quit' to exit.\n")
     while True:
         try:
@@ -171,17 +205,20 @@ def cmd_shell(args: argparse.Namespace) -> int:
         if line.lower() in ("quit", "exit", r"\q"):
             return 0
         try:
-            plan = engine.plan(line)
+            stmt = parse_statement(line)
+            plan = engine.plan(stmt) if isinstance(stmt, Query) else None
             derby.start_cold_run()
-            rows = engine.execute(line)
+            rows = engine.execute(stmt)
         except ReproError as exc:
             print(f"error: {exc}")
             continue
-        print(f"-- plan: {plan.description}")
-        for row in rows[:20]:
+        if plan is not None:
+            print(f"-- plan: {plan.description}")
+        shown = rows[:20] if plan is not None else rows
+        for row in shown:
             print(f"   {row}")
-        if len(rows) > 20:
-            print(f"   ... {len(rows) - 20} more rows")
+        if len(rows) > len(shown):
+            print(f"   ... {len(rows) - len(shown)} more rows")
         meters = derby.db.counters.snapshot()
         print(f"-- {len(rows)} row(s); {derby.db.clock.elapsed_s:.3f} "
               f"simulated s; {meters.disk_reads} page reads; "
@@ -200,7 +237,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"{config.n_patients} patients "
           f"({config.clustering.value} clustering) ...")
     derby = load_derby(config)
-    service = QueryService(derby)
+    service = QueryService(derby, optimizer=args.optimizer)
     current = service.open_session("main")
     print("Multi-session shell — one server cache, one lock table, a")
     print("private client cache per session.  Commands:")
@@ -321,6 +358,7 @@ def cmd_mix(args: argparse.Namespace) -> int:
         budget_rows=args.budget_rows,
         statement_timeout_s=args.statement_timeout,
         max_active=args.max_active,
+        optimizer=args.optimizer,
     )
     config = _make_config(args)
     print(f"loading {config.n_providers} providers / "
@@ -468,6 +506,38 @@ def cmd_layout(args: argparse.Namespace) -> int:
 # ------------------------------------------------------------------ analyze
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    """Collect optimizer statistics and persist them (ANALYZE)."""
+    from repro.opt import StatsCollector, save_table_stats, summarize
+    from repro.stats import StatsDatabase
+
+    config = _make_config(args)
+    print(
+        f"building {config.n_providers} providers / {config.n_patients} "
+        f"patients ({config.clustering.value}) ...",
+        file=sys.stderr,
+    )
+    derby = load_derby(config)
+    catalog = Catalog.from_derby(derby)
+    start_s = derby.db.clock.elapsed_s
+    collector = StatsCollector(catalog, buckets=args.buckets)
+    try:
+        stats = collector.collect(args.collections or None)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spent_s = derby.db.clock.elapsed_s - start_s
+    for line in summarize(stats):
+        print(line)
+    print(f"analyze cost {spent_s:.3f} simulated s")
+    stats_db = StatsDatabase()
+    n_rows = save_table_stats(stats_db, stats)
+    print(f"persisted {n_rows} statistics row(s) through repro.stats")
+    return 0
+
+
+# ------------------------------------------------------------------ calibrate
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
     """Run a measurement grid, fit the cost model, score the optimizer."""
     from repro.analysis import fit_cost_model, score_optimizer
     from repro.bench.figures import PAPER_ALGORITHMS
@@ -560,12 +630,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     shell = sub.add_parser("shell", help="interactive OQL shell")
     _add_db_options(shell)
+    _add_optimizer_option(shell)
     shell.set_defaults(func=cmd_shell)
 
     serve = sub.add_parser(
         "serve", help="multi-session shell over one shared server"
     )
     _add_db_options(serve)
+    _add_optimizer_option(serve)
     serve.set_defaults(func=cmd_serve)
 
     mix = sub.add_parser(
@@ -601,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
     mix.add_argument("--max-active", type=int, default=None,
                      help="admission control: sessions allowed to run an "
                           "op concurrently (others queue FIFO)")
+    _add_optimizer_option(mix)
     mix.add_argument("--csv", default=None,
                      help="also export the Stat rows as CSV to this path")
     mix.add_argument("--sessions-csv", default=None,
@@ -668,10 +741,23 @@ def build_parser() -> argparse.ArgumentParser:
     layout.set_defaults(func=cmd_layout)
 
     analyze = sub.add_parser(
-        "analyze", help="fit the cost model, score the optimizer"
+        "analyze",
+        help="collect optimizer statistics (cardinalities, histograms, "
+        "fan-out) and persist them",
     )
     _add_db_options(analyze)
+    analyze.add_argument("collections", nargs="*",
+                         help="collections to analyze (default: all)")
+    from repro.opt import DEFAULT_BUCKETS as _BUCKETS
+    analyze.add_argument("--buckets", type=int, default=_BUCKETS,
+                         help="equi-depth histogram buckets per attribute")
     analyze.set_defaults(func=cmd_analyze)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="fit the cost model, score the heuristic optimizer"
+    )
+    _add_db_options(calibrate)
+    calibrate.set_defaults(func=cmd_calibrate)
 
     info = sub.add_parser("info", help="print cost model and budgets")
     _add_db_options(info)

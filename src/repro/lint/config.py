@@ -31,6 +31,7 @@ DEFAULT_LAYER_ORDER = (
     "cluster",
     "oo7",
     "oql",
+    "opt",
     "recovery",
     "bench",
     "service",

@@ -1,0 +1,115 @@
+"""Round-trip optimizer statistics through the results database.
+
+ANALYZE output is persisted as first-class objects in a
+:class:`~repro.stats.store.StatsDatabase` — the paper's own
+eat-your-own-dogfood discipline, extended from benchmark results to the
+planner's statistics.  ``save_table_stats`` writes one ExtentStat per
+analyzed collection, one ColumnStat (plus ordered HistBucket objects)
+per attribute histogram, and one FanoutStat per association;
+``load_table_stats`` reconstructs an equivalent
+:class:`~repro.opt.collector.TableStats` bundle, so a planner can be
+warmed from a previous run's statistics without re-scanning anything.
+"""
+
+from __future__ import annotations
+
+from repro.opt.collector import (
+    AttributeStats,
+    ExtentStats,
+    FanoutStats,
+    TableStats,
+)
+from repro.opt.histogram import EquiDepthHistogram
+from repro.stats.store import StatsDatabase
+
+
+def save_table_stats(stats_db: StatsDatabase, stats: TableStats) -> int:
+    """Persist one ANALYZE result; returns the number of stat objects
+    written (extents + columns + fan-outs, excluding buckets)."""
+    written = 0
+    for name in sorted(stats.extents):
+        extent = stats.extents[name]
+        stats_db.record_extent_stat(
+            collection=extent.collection,
+            n_objects=extent.n_objects,
+            file_pages=extent.file_pages,
+            extent_pages=extent.extent_pages,
+            sampled=extent.sampled,
+        )
+        written += 1
+        for attr in extent.attributes:
+            histogram = attr.histogram
+            stats_db.record_column_stat(
+                collection=extent.collection,
+                attr=attr.attr,
+                lo=histogram.lo,
+                min_value=attr.min_value,
+                max_value=attr.max_value,
+                n_distinct=histogram.n_distinct,
+                buckets=list(zip(histogram.uppers, histogram.counts)),
+            )
+            written += 1
+    for key in sorted(stats.fanouts):
+        fanout = stats.fanouts[key]
+        stats_db.record_fanout_stat(
+            parent=fanout.parent_collection,
+            set_attr=fanout.set_attr,
+            child=fanout.child_collection,
+            sampled=fanout.sampled,
+            avg_children=fanout.avg_children,
+            max_children=fanout.max_children,
+            frac_with_children=fanout.frac_with_children,
+        )
+        written += 1
+    return written
+
+
+def load_table_stats(stats_db: StatsDatabase) -> TableStats:
+    """Rebuild a :class:`TableStats` from everything previously saved.
+
+    Stat objects are append-only (the underlying collections have no
+    delete), so a re-run ANALYZE leaves earlier rows behind; every key
+    — extent name, ``(collection, attr)`` column, fan-out association —
+    resolves last-wins, i.e. to the most recent save.
+    """
+    columns: dict[tuple[str, str], AttributeStats] = {}
+    for row in stats_db.column_stat_rows():
+        histogram = EquiDepthHistogram(
+            lo=row.lo,
+            uppers=tuple(upper for upper, __ in row.buckets),
+            counts=tuple(count for __, count in row.buckets),
+            n_distinct=row.n_distinct,
+        )
+        columns[(row.collection, row.attr)] = AttributeStats(
+            attr=row.attr,
+            min_value=row.min_value,
+            max_value=row.max_value,
+            histogram=histogram,
+        )
+    stats = TableStats()
+    for row in stats_db.extent_stat_rows():
+        stats.extents[row.collection] = ExtentStats(
+            collection=row.collection,
+            n_objects=row.n_objects,
+            file_pages=row.file_pages,
+            extent_pages=row.extent_pages,
+            sampled=row.sampled,
+            attributes=tuple(
+                sorted(
+                    (stat for (name, __), stat in columns.items()
+                     if name == row.collection),
+                    key=lambda a: a.attr,
+                )
+            ),
+        )
+    for row in stats_db.fanout_stat_rows():
+        stats.fanouts[(row.parent, row.set_attr)] = FanoutStats(
+            parent_collection=row.parent,
+            set_attr=row.set_attr,
+            child_collection=row.child,
+            sampled=row.sampled,
+            avg_children=row.avg_children,
+            max_children=row.max_children,
+            frac_with_children=row.frac_with_children,
+        )
+    return stats

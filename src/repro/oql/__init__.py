@@ -20,13 +20,16 @@ Entry point: :func:`run_oql` / :class:`OQLEngine`.
 """
 
 from repro.oql.ast_nodes import (
+    AnalyzeStmt,
     BinOp,
     BoolOp,
     CollectionRef,
+    ExplainStmt,
     FromClause,
     Literal,
     Path,
     Query,
+    Statement,
     TupleExpr,
 )
 from repro.oql.catalog import Catalog, RelationshipInfo
@@ -34,13 +37,20 @@ from repro.oql.cost import CostModel, PlanEstimate
 from repro.oql.engine import OQLEngine, run_oql
 from repro.oql.lexer import Token, tokenize
 from repro.oql.optimizer import Optimizer, SelectionPlan, TreeJoinPlan
-from repro.oql.parser import parse
+from repro.oql.parser import parse, parse_statement
+from repro.oql.printer import print_query, print_statement
 
 __all__ = [
     "tokenize",
     "Token",
     "parse",
+    "parse_statement",
+    "print_query",
+    "print_statement",
     "Query",
+    "Statement",
+    "ExplainStmt",
+    "AnalyzeStmt",
     "FromClause",
     "Path",
     "Literal",

@@ -105,6 +105,26 @@ class Query:
     limit: int | None = None
 
 
+@dataclass(frozen=True)
+class ExplainStmt:
+    """``explain <query>`` — plan the query, run it, and return the
+    chosen plan with estimated vs. actual rows and cost as text rows."""
+
+    query: Query
+
+
+@dataclass(frozen=True)
+class AnalyzeStmt:
+    """``analyze [Collection, ...]`` — collect optimizer statistics
+    over the named collections (all of them when none are named)."""
+
+    collections: tuple[str, ...] = ()
+
+
+#: Anything the engine accepts as one executable statement.
+Statement = Query | ExplainStmt | AnalyzeStmt
+
+
 def conjuncts(expr: Expr | None) -> list[Expr]:
     """Flatten a where-clause into its top-level AND terms."""
     if expr is None:

@@ -182,6 +182,23 @@ class CostModel:
             {"io": leaf_io + fetch_io, "sort": sort, "cpu": cpu, "result": res},
         )
 
+    def selection_index_only(
+        self, n_objects: int, leaves: int, sel: float
+    ) -> PlanEstimate:
+        """An aggregate answered from index entries alone
+        (:class:`~repro.exec.operators.transforms.IndexOnlyAggregate`):
+        scan the qualifying leaf range, one comparison per entry, one
+        result row, and never fetch an object."""
+        k = sel * n_objects
+        io = self.page_s(sel * leaves)
+        cpu = k * self.params.compare_us / US_PER_S
+        res = self.result_s(1)
+        return PlanEstimate(
+            io + cpu + res,
+            "index-only aggregate",
+            {"io": io, "cpu": cpu, "result": res},
+        )
+
     # -- tree-join plans (Section 5) ----------------------------------------
 
     def _result_rows(self, s: JoinStats) -> float:

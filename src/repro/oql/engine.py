@@ -38,15 +38,16 @@ from repro.exec.operators.transforms import (
     Map,
     Sort,
 )
-from repro.oql.ast_nodes import Query
+from repro.oql.ast_nodes import AnalyzeStmt, ExplainStmt, Query, Statement
 from repro.oql.catalog import Catalog
+from repro.oql.explain import AnalyzeOperator, ExplainOperator
 from repro.oql.optimizer import (
     Optimizer,
     SargablePredicate,
     SelectionPlan,
     TreeJoinPlan,
 )
-from repro.oql.parser import parse
+from repro.oql.parser import parse, parse_statement
 from repro.simtime import Bucket
 
 _OPS = {
@@ -67,12 +68,21 @@ class OQLEngine:
         catalog: Catalog,
         include_extensions: bool = False,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        optimizer: Optimizer | None = None,
     ):
         self.catalog = catalog
-        self.optimizer = Optimizer(catalog, include_extensions)
+        #: The planner; inject a :class:`repro.opt.CostBasedOptimizer`
+        #: (possibly shared across sessions) for cost-based planning.
+        self.optimizer = (
+            optimizer if optimizer is not None
+            else Optimizer(catalog, include_extensions)
+        )
         self.batch_size = batch_size
         #: Pipeline stats of the most recent fully-drained ``execute``.
         self.last_stats: PipelineStats | None = None
+        #: Statistics installed by the latest ``analyze`` statement run
+        #: through this engine (whatever the planner does with them).
+        self.table_stats = None
 
     # -- public API ----------------------------------------------------
 
@@ -81,14 +91,21 @@ class OQLEngine:
         return self.optimizer.plan(query)
 
     def compile(
-        self, source: str | Query | SelectionPlan | TreeJoinPlan
+        self, source: str | Statement | SelectionPlan | TreeJoinPlan
     ) -> Operator:
-        """Compile a query (or an already-chosen plan) into an operator
-        tree over a fresh :class:`PipelineContext`."""
+        """Compile a statement (or an already-chosen plan) into an
+        operator tree over a fresh :class:`PipelineContext`."""
+        if isinstance(source, str):
+            source = parse_statement(source)
+        if isinstance(source, (ExplainStmt, AnalyzeStmt)):
+            ctx = PipelineContext(self.catalog.db)
+            if isinstance(source, ExplainStmt):
+                return ExplainOperator(ctx, self, source)
+            return AnalyzeOperator(ctx, self, source)
         if isinstance(source, (SelectionPlan, TreeJoinPlan)):
             plan = source
         else:
-            plan = self.plan(source)
+            plan = self.optimizer.plan(source)
         ctx = PipelineContext(self.catalog.db)
         if isinstance(plan, SelectionPlan):
             root = self._compile_selection(ctx, plan)
@@ -102,15 +119,16 @@ class OQLEngine:
 
     def execute_iter(
         self,
-        source: str | Query | SelectionPlan | TreeJoinPlan,
+        source: str | Statement | SelectionPlan | TreeJoinPlan,
         batch_size: int | None = None,
     ) -> Cursor:
         """Compile and return a streaming cursor over the result."""
         root = self.compile(source)
         return Cursor(root.ctx, root, batch_size or self.batch_size)
 
-    def execute(self, source: str | Query) -> list[tuple]:
-        """Run a query; rows come back as tuples in select-clause order."""
+    def execute(self, source: str | Statement) -> list:
+        """Run a statement; query rows come back as tuples in
+        select-clause order, ``explain``/``analyze`` rows as strings."""
         with self.execute_iter(source) as cursor:
             rows = cursor.drain()
             self.last_stats = cursor.stats

@@ -1,0 +1,211 @@
+"""``explain`` and ``analyze`` as first-class, governed statements.
+
+Both are ordinary pull-based operators, so every consumer of the engine
+— the shell, the multi-client service with its resource governor and
+scheduler batch points, a plain :meth:`OQLEngine.execute` — runs them
+like any other statement and pays their simulated time.
+
+``explain <query>`` plans the query with the engine's installed planner
+(heuristic or cost-based), *runs* it against a fresh pipeline, and emits
+text rows: the operator tree the engine would compile, estimated vs.
+actual rows and cost, and the full alternatives table with the chosen
+candidate marked.  Running the query is deliberate — the paper's whole
+point is measured truth, and an explain that stopped at estimates could
+not report the estimation error.
+
+``analyze [collections]`` delegates to the statistics collector
+(:mod:`repro.opt.collector`), installs the result into the engine's
+planner when that planner accepts statistics (the cost-based one does),
+and emits one summary row per analyzed extent/association.
+"""
+
+from __future__ import annotations
+
+from repro.exec.operators.base import Cursor, Operator, PipelineContext
+from repro.oql.ast_nodes import AnalyzeStmt, ExplainStmt
+from repro.oql.optimizer import SelectionPlan, TreeJoinPlan
+from repro.oql.printer import print_query
+
+#: Estimated-rows / estimated-cost placeholder for planners predating
+#: the est_rows field (never the shipped ones; belt and braces).
+_UNKNOWN = "?"
+
+
+def _fmt_rows(value: float | None) -> str:
+    if value is None:
+        return _UNKNOWN
+    return f"{value:.1f}"
+
+
+def plan_tree_lines(plan: SelectionPlan | TreeJoinPlan) -> list[str]:
+    """The operator tree the engine compiles for ``plan``, one line per
+    operator, children indented under parents — mirrors
+    :meth:`OQLEngine.compile` exactly."""
+    if isinstance(plan, SelectionPlan):
+        core = _selection_lines(plan)
+    else:
+        core = _tree_join_lines(plan)
+    for wrapper in ("Distinct" if plan.distinct else None,
+                    f"Limit({plan.limit})" if plan.limit is not None else None):
+        if wrapper is not None:
+            core = [wrapper] + ["  " + line for line in core]
+    return core
+
+
+def _pred_text(pred) -> str:
+    return f"{pred.attr} {pred.op} {pred.value!r}"
+
+
+def _selection_lines(plan: SelectionPlan) -> list[str]:
+    if plan.index is None:
+        source = f"CollectionScan({plan.collection_name})"
+    else:
+        sorted_txt = ", sorted rids" if plan.sorted_rids else ""
+        source = (
+            f"IndexScan({plan.collection_name}.{_pred_text(plan.predicate)}"
+            f"{sorted_txt})"
+        )
+    if plan.index_only:
+        func = plan.aggregate[0] if plan.aggregate else "count"
+        return [f"IndexOnlyAggregate[{func}]", "  " + source]
+    filters = [_pred_text(p) for p in plan.residuals]
+    filters += [
+        f"exists {f.set_attr}: {_pred_text(f.child_pred)}"
+        for f in plan.exists_filters
+    ]
+    suffix = f" [filter: {' and '.join(filters)}]" if filters else ""
+    if plan.aggregate is not None:
+        func, attr = plan.aggregate
+        label = f"FetchingAggregate[{func}({attr or '*'})]{suffix}"
+        return [label, "  " + source]
+    fetch = f"Fetch({', '.join(plan.project)}){suffix}"
+    lines = [fetch, "  " + source]
+    if plan.order_by:
+        terms = ", ".join(
+            f"{attr}{' desc' if descending else ''}"
+            for attr, descending in plan.order_by
+        )
+        lines = [f"Sort({terms})"] + ["  " + line for line in lines]
+    return lines
+
+
+def _tree_join_lines(plan: TreeJoinPlan) -> list[str]:
+    rel = plan.relationship
+    lines = [
+        f"TreeJoin[{plan.algorithm}]"
+        f"({rel.parent_collection}.{rel.set_attr} -> "
+        f"{rel.child_collection})",
+        f"  parent: {rel.parent_collection}.{plan.parent_key}"
+        f" < {plan.parent_high!r} via index",
+        f"  child:  {rel.child_collection}.{plan.child_key}"
+        f" < {plan.child_high!r} via index",
+    ]
+    if not plan.parent_first:
+        lines = ["Map(flip columns)"] + ["  " + line for line in lines]
+    return lines
+
+
+def _chosen_key(plan: SelectionPlan | TreeJoinPlan) -> str | None:
+    if isinstance(plan, TreeJoinPlan):
+        return plan.algorithm
+    for key, estimate in plan.alternatives.items():
+        if estimate is plan.estimate:
+            return key
+    return None
+
+
+def render_explain(
+    plan: SelectionPlan | TreeJoinPlan,
+    actual_rows: int,
+    actual_s: float,
+    query_text: str,
+) -> list[str]:
+    """The text rows an ``explain`` statement emits."""
+    lines = [f"query: {query_text}", f"plan: {plan.description}"]
+    lines += ["  " + line for line in plan_tree_lines(plan)]
+    lines.append(
+        f"rows: estimated {_fmt_rows(plan.est_rows)}, actual {actual_rows}"
+    )
+    lines.append(
+        f"cost: estimated {plan.estimate.seconds:.6f} s, "
+        f"actual {actual_s:.6f} s"
+    )
+    chosen = _chosen_key(plan)
+    lines.append("alternatives:")
+    width = max(len(key) for key in plan.alternatives)
+    for key in sorted(
+        plan.alternatives, key=lambda k: plan.alternatives[k].seconds
+    ):
+        marker = "  <- chosen" if key == chosen else ""
+        lines.append(
+            f"  {key.ljust(width)}  {plan.alternatives[key].seconds:.6f} s"
+            f"{marker}"
+        )
+    return lines
+
+
+class _TextRows(Operator):
+    """Shared tail: emit precomputed text rows, charging the result
+    price per row like any other root operator."""
+
+    def __init__(self, ctx: PipelineContext):
+        super().__init__(ctx)
+        self._lines: list[str] = []
+        self._pos = 0
+
+    def _next(self, n: int) -> list:
+        batch = self._lines[self._pos : self._pos + n]
+        self._pos += len(batch)
+        for __ in batch:
+            self.ctx.charge_result(transactional=False)
+        return batch
+
+
+class ExplainOperator(_TextRows):
+    """Runs ``explain <query>``: plan, execute, compare, render."""
+
+    def __init__(self, ctx: PipelineContext, engine, stmt: ExplainStmt):
+        super().__init__(ctx)
+        self.engine = engine
+        self.stmt = stmt
+
+    def _open(self) -> None:
+        engine = self.engine
+        clock = engine.catalog.db.clock
+        plan = engine.optimizer.plan(self.stmt.query)
+        start_s = clock.elapsed_s
+        inner = engine.compile(plan)
+        rows = Cursor(inner.ctx, inner, engine.batch_size).drain()
+        self._lines = render_explain(
+            plan,
+            actual_rows=len(rows),
+            actual_s=clock.elapsed_s - start_s,
+            query_text=print_query(self.stmt.query),
+        )
+
+
+class AnalyzeOperator(_TextRows):
+    """Runs ``analyze [collections]``: collect statistics, install them
+    into the engine's planner, emit the summary."""
+
+    def __init__(self, ctx: PipelineContext, engine, stmt: AnalyzeStmt):
+        super().__init__(ctx)
+        self.engine = engine
+        self.stmt = stmt
+
+    def _open(self) -> None:
+        # Function-scoped import: repro.opt layers *above* repro.oql, so
+        # the wiring runs upward here the same way service.checkpoint
+        # reaches repro.recovery (the sanctioned LAYER escape hatch).
+        from repro.opt import StatsCollector, summarize
+
+        engine = self.engine
+        for name in self.stmt.collections:
+            engine.catalog.collection(name)    # unknown name -> PlanError
+        collector = StatsCollector(engine.catalog)
+        stats = collector.collect(self.stmt.collections or None)
+        engine.table_stats = stats
+        install = getattr(engine.optimizer, "install_stats", None)
+        if install is not None:
+            install(stats)
+        self._lines = summarize(stats)

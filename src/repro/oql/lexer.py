@@ -27,6 +27,8 @@ KEYWORDS = {
     "desc",
     "exists",
     "limit",
+    "explain",
+    "analyze",
 }
 
 _TWO_CHAR_OPS = ("<=", ">=", "!=")

@@ -71,6 +71,20 @@ class ExistsFilter:
     child_pred: SargablePredicate
 
 
+@dataclass(frozen=True)
+class SelectionParts:
+    """The validated logical pieces of a single-variable selection —
+    what is left for a planner to decide is purely physical (access
+    path and driving predicate)."""
+
+    collection_name: str
+    projection: tuple[tuple[str, Path], ...]
+    aggregate: tuple[str, str | None] | None
+    order_by: tuple[tuple[str, bool], ...]
+    predicates: tuple[SargablePredicate, ...]
+    exists_filters: tuple[ExistsFilter, ...]
+
+
 @dataclass
 class SelectionPlan:
     """Physical plan for a single-variable selection."""
@@ -96,6 +110,9 @@ class SelectionPlan:
     exists_filters: tuple[ExistsFilter, ...] = ()
     #: Emit at most this many rows (early-exits the pipeline).
     limit: int | None = None
+    #: Estimated output rows (filled by the planner; ``explain``
+    #: compares it to the actual row count).
+    est_rows: float | None = None
 
     @property
     def description(self) -> str:
@@ -121,6 +138,9 @@ class TreeJoinPlan:
     distinct: bool = False
     #: Emit at most this many rows (early-exits the pipeline).
     limit: int | None = None
+    #: Estimated output rows (filled by the planner; ``explain``
+    #: compares it to the actual row count).
+    est_rows: float | None = None
 
     @property
     def description(self) -> str:
@@ -199,11 +219,16 @@ class Optimizer:
     # -- selections ---------------------------------------------------------
 
     def _plan_selection(self, query: Query) -> SelectionPlan:
+        return self._choose_selection(query, self._selection_parts(query))
+
+    def _selection_parts(self, query: Query) -> SelectionParts:
+        """Validate the logical shape; raises PlanError outside the
+        supported subset.  Shared by every planner."""
         clause = query.from_clauses[0]
         if not isinstance(clause.source, CollectionRef):
             raise PlanError("single-variable queries must range over a name")
         name = clause.source.name
-        info = self.catalog.collection(name)
+        self.catalog.collection(name)
         variables = {clause.var}
 
         aggregate: tuple[str, str | None] | None = None
@@ -219,7 +244,7 @@ class Optimizer:
                 aggregate = (agg.func, agg.arg.attrs[0])
             if query.order_by:
                 raise PlanError("order by makes no sense with an aggregate")
-            projection = []
+            projection: list[tuple[str, Path]] = []
         else:
             projection = self._projection(query, variables)
 
@@ -239,7 +264,42 @@ class Optimizer:
             if pred is None:
                 raise PlanError(f"unsupported where term: {term!r}")
             predicates.append(pred)
+        return SelectionParts(
+            collection_name=name,
+            projection=tuple(projection),
+            aggregate=aggregate,
+            order_by=tuple(order_by),
+            predicates=tuple(predicates),
+            exists_filters=tuple(exists_filters),
+        )
 
+    def _predicate_selectivity(
+        self, collection_name: str, pred: SargablePredicate,
+        index: BTreeIndex,
+    ) -> float:
+        """Selectivity of one sargable predicate.  The heuristic planner
+        interpolates over the index's leaf directory; the cost-based
+        planner (:class:`repro.opt.CostBasedOptimizer`) overrides this
+        with histogram estimates."""
+        low, high, __, ___ = pred.bounds()
+        return index.selectivity(low, high)
+
+    def _output_selectivity(
+        self,
+        collection_name: str,
+        parts: SelectionParts,
+        best: tuple[SargablePredicate, BTreeIndex, float] | None,
+    ) -> float:
+        """Estimated fraction of the extent the query emits.  The
+        heuristic only knows the best indexed predicate; subclasses with
+        statistics combine every conjunct."""
+        return best[2] if best else 1.0
+
+    def _choose_selection(
+        self, query: Query, parts: SelectionParts
+    ) -> SelectionPlan:
+        name = parts.collection_name
+        predicates = parts.predicates
         n = self.catalog.collection_size(name)
         pages = self.catalog.file_pages(name)
         extent_pages = self.catalog.extent_pages(name)
@@ -250,8 +310,7 @@ class Optimizer:
             index = self.catalog.index_for(name, pred.attr)
             if index is None or pred.op == "!=":
                 continue
-            low, high, __, ___ = pred.bounds()
-            sel = index.selectivity(low, high)
+            sel = self._predicate_selectivity(name, pred, index)
             if best is None or sel < best[2]:
                 best = (pred, index, sel)
 
@@ -269,29 +328,18 @@ class Optimizer:
                 n, pages, index.leaf_count, sel, index.clustering_ratio,
                 sorted_rids=True,
             )
+        est_rows = (
+            1.0 if parts.aggregate is not None
+            else n * self._output_selectivity(name, parts, best)
+        )
         # An aggregate whose answer lives entirely in the index (counts,
         # or aggregates over the indexed key itself) never fetches an
         # object: always prefer the index when one applies.
-        if aggregate is not None and best is not None and not exists_filters:
-            agg_residuals = tuple(p for p in predicates if p != best[0])
-            if not agg_residuals and (
-                aggregate[1] is None or aggregate[1] == best[0].attr
-            ):
-                return SelectionPlan(
-                    collection_name=name,
-                    project=(),
-                    columns=(aggregate[0],),
-                    predicate=best[0],
-                    residuals=(),
-                    index=best[1],
-                    sorted_rids=False,
-                    estimate=alternatives["index"],
-                    alternatives=alternatives,
-                    distinct=query.distinct,
-                    aggregate=aggregate,
-                    index_only=True,
-                    limit=query.limit,
-                )
+        plan = self._index_only_aggregate(
+            query, parts, best, alternatives, alternatives.get("index")
+        )
+        if plan is not None:
+            return plan
 
         choice = min(alternatives, key=lambda k: alternatives[k].seconds)
 
@@ -299,8 +347,8 @@ class Optimizer:
         if choice == "scan" or best is None:
             return SelectionPlan(
                 collection_name=name,
-                project=tuple(path.attrs[0] for __, path in projection),
-                columns=tuple(label for label, __ in projection),
+                project=tuple(path.attrs[0] for __, path in parts.projection),
+                columns=tuple(label for label, __ in parts.projection),
                 predicate=None,
                 residuals=tuple(predicates),
                 index=None,
@@ -308,16 +356,17 @@ class Optimizer:
                 estimate=alternatives[choice],
                 alternatives=alternatives,
                 distinct=query.distinct,
-                aggregate=aggregate,
-                order_by=tuple(order_by),
-                exists_filters=tuple(exists_filters),
+                aggregate=parts.aggregate,
+                order_by=parts.order_by,
+                exists_filters=parts.exists_filters,
                 limit=query.limit,
+                est_rows=est_rows,
             )
 
         return SelectionPlan(
             collection_name=name,
-            project=tuple(path.attrs[0] for __, path in projection),
-            columns=tuple(label for label, __ in projection),
+            project=tuple(path.attrs[0] for __, path in parts.projection),
+            columns=tuple(label for label, __ in parts.projection),
             predicate=best[0],
             residuals=residuals,
             index=best[1],
@@ -325,10 +374,52 @@ class Optimizer:
             estimate=alternatives[choice],
             alternatives=alternatives,
             distinct=query.distinct,
-            aggregate=aggregate,
-            order_by=tuple(order_by),
-            exists_filters=tuple(exists_filters),
+            aggregate=parts.aggregate,
+            order_by=parts.order_by,
+            exists_filters=parts.exists_filters,
             limit=query.limit,
+            est_rows=est_rows,
+        )
+
+    def _index_only_aggregate(
+        self,
+        query: Query,
+        parts: SelectionParts,
+        best: tuple[SargablePredicate, BTreeIndex, float] | None,
+        alternatives: dict[str, PlanEstimate],
+        estimate: PlanEstimate | None,
+    ) -> SelectionPlan | None:
+        """The index-only aggregate fast path, when it applies.
+
+        ``estimate`` is the caller's cost of the unsorted index scan
+        driven by ``best`` (label conventions differ between planners).
+        """
+        aggregate = parts.aggregate
+        if (
+            aggregate is None or best is None or estimate is None
+            or parts.exists_filters
+        ):
+            return None
+        agg_residuals = tuple(p for p in parts.predicates if p != best[0])
+        if agg_residuals or not (
+            aggregate[1] is None or aggregate[1] == best[0].attr
+        ):
+            return None
+        return SelectionPlan(
+            collection_name=parts.collection_name,
+            project=(),
+            columns=(aggregate[0],),
+            predicate=best[0],
+            residuals=(),
+            index=best[1],
+            sorted_rids=False,
+            estimate=estimate,
+            alternatives=alternatives,
+            distinct=query.distinct,
+            aggregate=aggregate,
+            index_only=True,
+            limit=query.limit,
+            est_rows=1.0,
         )
 
     # -- tree joins -----------------------------------------------------------
@@ -417,6 +508,7 @@ class Optimizer:
             alternatives=estimates,
             distinct=query.distinct,
             limit=query.limit,
+            est_rows=stats.sel_parents * stats.sel_children * stats.n_children,
         )
 
     def _join_stats(

@@ -2,6 +2,8 @@
 
 Grammar (informal)::
 
+    statement  := query | "explain" query
+                  | "analyze" [ident ("," ident)*]
     query      := "select" ["distinct"] select_expr
                   "from" from_clause ("," from_clause)*
                   ["where" or_expr]
@@ -24,16 +26,19 @@ from __future__ import annotations
 from repro.errors import OQLSyntaxError
 from repro.oql.ast_nodes import (
     AggregateExpr,
+    AnalyzeStmt,
     BinOp,
     BoolOp,
     CollectionRef,
     ExistsExpr,
+    ExplainStmt,
     Expr,
     FromClause,
     Literal,
     OrderBy,
     Path,
     Query,
+    Statement,
     TupleExpr,
 )
 
@@ -84,6 +89,26 @@ class _Parser:
         return self.advance().text
 
     # -- grammar ---------------------------------------------------------
+
+    def statement(self) -> Statement:
+        if self.cur.is_kw("explain"):
+            self.advance()
+            return ExplainStmt(self.query())
+        if self.cur.is_kw("analyze"):
+            self.advance()
+            names: list[str] = []
+            if self.cur.kind == "ident":
+                names.append(self.advance().text)
+                while self.cur.is_op(","):
+                    self.advance()
+                    names.append(self.expect_ident())
+            if self.cur.kind != "eof":
+                raise OQLSyntaxError(
+                    f"trailing input at position {self.cur.pos}: "
+                    f"{self.cur.text!r}"
+                )
+            return AnalyzeStmt(tuple(names))
+        return self.query()
 
     def query(self) -> Query:
         self.expect_kw("select")
@@ -290,3 +315,9 @@ class _Parser:
 def parse(source: str) -> Query:
     """Parse OQL text into a :class:`Query`."""
     return _Parser(tokenize(source)).query()
+
+
+def parse_statement(source: str) -> Statement:
+    """Parse one statement: a query, ``explain <query>``, or
+    ``analyze [collections]``."""
+    return _Parser(tokenize(source)).statement()

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Iterator
 from repro.buffer import BufferCache, LRUPolicy
 from repro.errors import ServiceError
 from repro.objects.handle import HandleTable
+from repro.opt import CostBasedOptimizer
 from repro.oql import Catalog, OQLEngine
 from repro.service.governor import QueryBudget, ResourceGovernor
 from repro.service.scheduler import CooperativeScheduler, Task
@@ -123,7 +124,9 @@ class Session:
         self.handles = HandleTable(
             db.clock, db.params, db.counters, db.handles.mode
         )
-        self.engine = OQLEngine(service.catalog)
+        self.engine = OQLEngine(
+            service.catalog, optimizer=service.plan_optimizer
+        )
         #: Rows pulled per operator batch; the scheduler is offered the
         #: baton between batches.
         self.batch_size: int = self.engine.batch_size
@@ -279,10 +282,24 @@ class QueryService:
         query_budget: QueryBudget | None = None,
         session_budget: QueryBudget | None = None,
         max_active: int | None = None,
+        optimizer: str = "heuristic",
     ):
+        if optimizer not in ("heuristic", "cost"):
+            raise ServiceError(
+                f"unknown optimizer {optimizer!r} "
+                "(expected 'heuristic' or 'cost')"
+            )
         self.derby = derby
         self.db = derby.db
         self.catalog = Catalog.from_derby(derby)
+        #: Shared planner for every session when cost-based planning is
+        #: requested; ``None`` keeps each engine's private heuristic
+        #: planner.  Shared on purpose: one ``analyze`` (from any
+        #: session) installs statistics for the whole service, the way
+        #: a real server keeps one catalog of optimizer statistics.
+        self.plan_optimizer = (
+            CostBasedOptimizer(self.catalog) if optimizer == "cost" else None
+        )
         self.recovery = recovery
         self.txm = TransactionManager(self.db, recovery=recovery)
         self.txm.locks.timeout_s = lock_timeout_s

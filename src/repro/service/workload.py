@@ -95,6 +95,11 @@ class MixConfig:
     #: the engine default).  Smaller batches yield the scheduler baton
     #: more often (see ``CooperativeScheduler.batch_point``).
     batch_size: int | None = None
+    #: Planner every session uses: ``"heuristic"`` (the default
+    #: rule-plus-cost planner) or ``"cost"`` (the statistics-driven
+    #: :class:`repro.opt.CostBasedOptimizer`; the mixer bootstraps it by
+    #: running one governed ``analyze`` statement before the mix).
+    optimizer: str = "heuristic"
 
     @property
     def total_clients(self) -> int:
@@ -286,8 +291,17 @@ class WorkloadMixer:
             ),
             query_budget=query_budget if query_budget.armed else None,
             max_active=config.max_active,
+            optimizer=config.optimizer,
         )
         self.service = service
+        if service.plan_optimizer is not None:
+            # Bootstrap the shared cost-based planner: one ``analyze``
+            # statement, run as a governed session operation so its
+            # (simulated) cost lands on the timeline like everything
+            # else — the statistics are not free.
+            analyst = service.open_session("analyst")
+            with service.immediate(analyst):
+                analyst.execute("analyze")
         if self.injector is not None:
             self.injector.arm(service.db, service.txm.log)
         if self.faults is not None:

@@ -8,7 +8,13 @@ This package stores every experiment as a ``Stat`` object — with its
 export tools (CSV, gnuplot) the paper built around its results database.
 """
 
-from repro.stats.export import mix_to_csv, recovery_to_csv, to_csv, to_gnuplot
+from repro.stats.export import (
+    mix_to_csv,
+    optimizer_to_csv,
+    recovery_to_csv,
+    to_csv,
+    to_gnuplot,
+)
 from repro.stats.schema import build_stats_schema
 from repro.stats.store import StatRow, StatsDatabase
 
@@ -19,5 +25,6 @@ __all__ = [
     "to_csv",
     "to_gnuplot",
     "mix_to_csv",
+    "optimizer_to_csv",
     "recovery_to_csv",
 ]

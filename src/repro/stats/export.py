@@ -152,6 +152,44 @@ def recovery_to_csv(rows) -> str:
     return out.getvalue()
 
 
+_OPTIMIZER_COLUMNS = (
+    "family",
+    "database",
+    "clustering",
+    "label",
+    "heuristic_plan",
+    "cost_plan",
+    "est_rows",
+    "actual_rows",
+    "rows_qerror",
+    "est_cost_s",
+    "actual_cost_s",
+    "cost_qerror",
+    "heuristic_s",
+    "cost_s",
+    "speedup",
+    "validated",
+)
+
+
+def optimizer_to_csv(rows) -> str:
+    """Render optimizer-leaderboard cells (``bench_optimizer``'s
+    per-query records) as CSV — duck-typed like :func:`mix_to_csv`:
+    any object carrying the column attributes works, missing ones
+    render empty."""
+    out = io.StringIO()
+    out.write(",".join(_OPTIMIZER_COLUMNS) + "\n")
+    for row in rows:
+        values = [getattr(row, col, "") for col in _OPTIMIZER_COLUMNS]
+        out.write(
+            ",".join(
+                f"{v:.4f}" if isinstance(v, float) else str(v) for v in values
+            )
+            + "\n"
+        )
+    return out.getvalue()
+
+
 def to_gnuplot(
     rows: Sequence[StatRow],
     x: str = "selectivity",

@@ -29,6 +29,13 @@ EXTENT_CLASS = "Extent"
 SYSTEM_CLASS = "System"
 ASSOCIATION_CLASS = "Association"
 
+# Optimizer-statistics classes (the ANALYZE pass persists its output
+# through the same results database — see repro.opt.persist).
+COLUMN_STAT_CLASS = "ColumnStat"
+HIST_BUCKET_CLASS = "HistBucket"
+EXTENT_STAT_CLASS = "ExtentStat"
+FANOUT_STAT_CLASS = "FanoutStat"
+
 #: Query text is longer than the default 16-byte strings.
 _TEXT_WIDTH = 128
 
@@ -95,6 +102,49 @@ def build_stats_schema() -> Schema:
             AttributeDef("Retries", AttrKind.INT32),
             AttributeDef("Cancelled", AttrKind.INT32),
             AttributeDef("OverBudget", AttrKind.INT32),
+        ],
+    )
+    # Optimizer statistics: what an ANALYZE pass learns about one
+    # database, in the same spirit as the Figure 3 result classes.
+    schema.define(
+        HIST_BUCKET_CLASS,
+        [
+            AttributeDef("upper", AttrKind.REAL64),
+            AttributeDef("count", AttrKind.INT32),
+        ],
+    )
+    schema.define(
+        COLUMN_STAT_CLASS,
+        [
+            AttributeDef("extentname", AttrKind.STRING, width=32),
+            AttributeDef("attrname", AttrKind.STRING, width=32),
+            AttributeDef("lovalue", AttrKind.REAL64),
+            AttributeDef("minval", AttrKind.REAL64),
+            AttributeDef("maxval", AttrKind.REAL64),
+            AttributeDef("ndistinct", AttrKind.INT32),
+            AttributeDef("buckets", AttrKind.REF_SET, target=HIST_BUCKET_CLASS),
+        ],
+    )
+    schema.define(
+        EXTENT_STAT_CLASS,
+        [
+            AttributeDef("collection", AttrKind.STRING, width=32),
+            AttributeDef("nobjects", AttrKind.INT32),
+            AttributeDef("filepages", AttrKind.INT32),
+            AttributeDef("extentpages", AttrKind.INT32),
+            AttributeDef("sampled", AttrKind.INT32),
+        ],
+    )
+    schema.define(
+        FANOUT_STAT_CLASS,
+        [
+            AttributeDef("parent", AttrKind.STRING, width=32),
+            AttributeDef("setattr", AttrKind.STRING, width=32),
+            AttributeDef("child", AttrKind.STRING, width=32),
+            AttributeDef("sampled", AttrKind.INT32),
+            AttributeDef("avgchildren", AttrKind.REAL64),
+            AttributeDef("maxchildren", AttrKind.INT32),
+            AttributeDef("withchildren", AttrKind.REAL64),
         ],
     )
     return schema

@@ -15,7 +15,11 @@ from dataclasses import dataclass
 from repro.objects.database import Database
 from repro.simtime import MeterSnapshot
 from repro.stats.schema import (
+    COLUMN_STAT_CLASS,
     EXTENT_CLASS,
+    EXTENT_STAT_CLASS,
+    FANOUT_STAT_CLASS,
+    HIST_BUCKET_CLASS,
     QUERY_CLASS,
     STAT_CLASS,
     SYSTEM_CLASS,
@@ -60,6 +64,43 @@ class StatRow:
     over_budget: int = 0
 
 
+@dataclass(frozen=True)
+class ExtentStatRow:
+    """One decoded ExtentStat (ANALYZE output), flat for reloading."""
+
+    collection: str
+    n_objects: int
+    file_pages: int
+    extent_pages: int
+    sampled: int
+
+
+@dataclass(frozen=True)
+class ColumnStatRow:
+    """One decoded ColumnStat with its histogram buckets in order."""
+
+    collection: str
+    attr: str
+    lo: float
+    min_value: float
+    max_value: float
+    n_distinct: int
+    buckets: tuple[tuple[float, int], ...]   # (upper, count) per bucket
+
+
+@dataclass(frozen=True)
+class FanoutStatRow:
+    """One decoded FanoutStat (association fan-out)."""
+
+    parent: str
+    set_attr: str
+    child: str
+    sampled: int
+    avg_children: float
+    max_children: int
+    frac_with_children: float
+
+
 class StatsDatabase:
     """Stores and queries experiment results."""
 
@@ -67,6 +108,9 @@ class StatsDatabase:
         self.db = Database(build_stats_schema())
         self.db.create_file(_FILE)
         self.stats = self.db.new_collection("Stats")
+        #: Optimizer-statistics collections, created on first use so
+        #: experiment-only databases pay nothing for them.
+        self._opt_collections: dict[str, object] = {}
         self._numtest = 0
         #: (selectivity on children, selectivity on parents) per stat,
         #: kept alongside because Figure 3's Query has one selectivity
@@ -148,6 +192,154 @@ class StatsDatabase:
         return self.db.create_object(
             EXTENT_CLASS, {"classname": classname, "size": size}, _FILE
         )
+
+    # -- optimizer statistics (ANALYZE output) ------------------------------
+
+    def _opt_collection(self, name: str):
+        collection = self._opt_collections.get(name)
+        if collection is None:
+            collection = self.db.new_collection(name)
+            self._opt_collections[name] = collection
+        return collection
+
+    def record_extent_stat(
+        self, collection: str, n_objects: int, file_pages: int,
+        extent_pages: int, sampled: int,
+    ) -> Rid:
+        """Persist one extent's ANALYZE cardinalities."""
+        rid = self.db.create_object(
+            EXTENT_STAT_CLASS,
+            {
+                "collection": collection,
+                "nobjects": n_objects,
+                "filepages": file_pages,
+                "extentpages": extent_pages,
+                "sampled": sampled,
+            },
+            _FILE,
+        )
+        self._opt_collection("ExtentStats").append(rid)
+        return rid
+
+    def record_column_stat(
+        self,
+        collection: str,
+        attr: str,
+        lo: float,
+        min_value: float,
+        max_value: float,
+        n_distinct: int,
+        buckets: list[tuple[float, int]],
+    ) -> Rid:
+        """Persist one attribute's equi-depth histogram.  Buckets become
+        HistBucket objects referenced, in order, by the ColumnStat's set
+        (overflow chunks preserve insertion order, so the histogram
+        round-trips exactly)."""
+        bucket_rids = [
+            self.db.create_object(
+                HIST_BUCKET_CLASS,
+                {"upper": upper, "count": count},
+                _FILE,
+            )
+            for upper, count in buckets
+        ]
+        rid = self.db.create_object(
+            COLUMN_STAT_CLASS,
+            {
+                "extentname": collection,
+                "attrname": attr,
+                "lovalue": lo,
+                "minval": min_value,
+                "maxval": max_value,
+                "ndistinct": n_distinct,
+                "buckets": bucket_rids,
+            },
+            _FILE,
+        )
+        self._opt_collection("ColumnStats").append(rid)
+        return rid
+
+    def record_fanout_stat(
+        self,
+        parent: str,
+        set_attr: str,
+        child: str,
+        sampled: int,
+        avg_children: float,
+        max_children: int,
+        frac_with_children: float,
+    ) -> Rid:
+        """Persist one association's fan-out statistics."""
+        rid = self.db.create_object(
+            FANOUT_STAT_CLASS,
+            {
+                "parent": parent,
+                "setattr": set_attr,
+                "child": child,
+                "sampled": sampled,
+                "avgchildren": avg_children,
+                "maxchildren": max_children,
+                "withchildren": frac_with_children,
+            },
+            _FILE,
+        )
+        self._opt_collection("FanoutStats").append(rid)
+        return rid
+
+    def _decode(self, rid: Rid) -> dict:
+        om = self.db.manager
+        record, class_def = om.read_record(rid)
+        return om.codec(class_def).decode(record)
+
+    def extent_stat_rows(self) -> list[ExtentStatRow]:
+        """Decode every stored ExtentStat, in recording order."""
+        out = []
+        for rid in self._opt_collection("ExtentStats").iter_rids():
+            data = self._decode(rid)
+            out.append(ExtentStatRow(
+                collection=data["collection"],
+                n_objects=data["nobjects"],
+                file_pages=data["filepages"],
+                extent_pages=data["extentpages"],
+                sampled=data["sampled"],
+            ))
+        return out
+
+    def column_stat_rows(self) -> list[ColumnStatRow]:
+        """Decode every stored ColumnStat with its buckets, in order."""
+        out = []
+        for rid in self._opt_collection("ColumnStats").iter_rids():
+            data = self._decode(rid)
+            buckets = []
+            for bucket_rid in self.db.iter_set_rids(data["buckets"]):
+                bucket = self._decode(bucket_rid)
+                buckets.append((bucket["upper"], bucket["count"]))
+            out.append(ColumnStatRow(
+                collection=data["extentname"],
+                attr=data["attrname"],
+                lo=data["lovalue"],
+                min_value=data["minval"],
+                max_value=data["maxval"],
+                n_distinct=data["ndistinct"],
+                buckets=tuple(buckets),
+            ))
+        return out
+
+    def fanout_stat_rows(self) -> list[FanoutStatRow]:
+        """Decode every stored FanoutStat, in recording order."""
+        out = []
+        for rid in self._opt_collection("FanoutStats").iter_rids():
+            data = self._decode(rid)
+            out.append(FanoutStatRow(
+                parent=data["parent"],
+                set_attr=data["setattr"],
+                child=data["child"],
+                sampled=data["sampled"],
+                avg_children=data["avgchildren"],
+                max_children=data["maxchildren"],
+                frac_with_children=data["withchildren"],
+            ))
+        return out
 
     # -- querying -------------------------------------------------------------
 

@@ -87,5 +87,40 @@ class TestCommands:
     def test_analyze(self, capsys):
         assert main(["analyze", "--db", "1to3", "--scale", "0.001"]) == 0
         out = capsys.readouterr().out
+        assert "analyzed Patients" in out
+        assert "analyzed Providers.clients" in out
+        assert "simulated s" in out
+        assert "persisted" in out
+
+    def test_analyze_named_collection(self, capsys):
+        assert main(
+            ["analyze", "--db", "1to3", "--scale", "0.001", "Providers"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "analyzed Providers" in out
+        assert "analyzed Patients" not in out
+
+    def test_analyze_unknown_collection(self, capsys):
+        assert main(
+            ["analyze", "--db", "1to3", "--scale", "0.001", "Bogus"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--db", "1to3", "--scale", "0.001"]) == 0
+        out = capsys.readouterr().out
         assert "cost model fitted" in out
         assert "optimizer: picked the measured winner" in out
+
+    def test_shell_cost_optimizer(self, capsys, monkeypatch):
+        inputs = iter([
+            "analyze",
+            "explain select count(p) from p in Patients where p.num < 500",
+            "quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(inputs))
+        assert main(["shell", "--scale", "0.001", "--optimizer", "cost"]) == 0
+        out = capsys.readouterr().out
+        assert "analyzed Patients" in out
+        assert "<- chosen" in out

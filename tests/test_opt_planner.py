@@ -1,0 +1,200 @@
+"""Tests for the cost-based plan enumerator (``repro.opt.enumerator``).
+
+The contract under test: ``CostBasedOptimizer`` explores a superset of
+the heuristic planner's alternatives, labels them distinctly, always
+chooses the minimum-estimate plan, produces semantically identical
+results, and — before ``install_stats`` — degrades to the heuristic
+planner's behavior.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import selection_query_text, tree_query_text
+from repro.cluster import load_derby
+from repro.derby import DerbyConfig
+from repro.derby.config import Clustering
+from repro.opt import CostBasedOptimizer, StatsCollector
+from repro.oql import Catalog, OQLEngine
+from repro.simtime import CostParams
+
+
+@pytest.fixture(scope="module")
+def derby():
+    config = DerbyConfig(
+        n_providers=40,
+        n_patients=1200,
+        clustering=Clustering.CLASS,
+        scale=0.002,
+        params=CostParams().scaled(0.002),
+    )
+    return load_derby(config)
+
+
+@pytest.fixture(scope="module")
+def catalog(derby):
+    return Catalog.from_derby(derby)
+
+
+@pytest.fixture(scope="module")
+def table_stats(catalog):
+    return StatsCollector(catalog).collect()
+
+
+@pytest.fixture(scope="module")
+def cost_engine(catalog, table_stats):
+    optimizer = CostBasedOptimizer(catalog, include_extensions=True)
+    optimizer.install_stats(table_stats)
+    return OQLEngine(catalog, optimizer=optimizer)
+
+
+@pytest.fixture(scope="module")
+def heuristic_engine(catalog):
+    return OQLEngine(catalog)
+
+
+def _chosen_label(plan) -> str:
+    labels = [
+        name for name, est in plan.alternatives.items()
+        if est is plan.estimate
+    ]
+    assert len(labels) == 1
+    return labels[0]
+
+
+class TestSelectionEnumeration:
+    def test_alternative_labels(self, derby, cost_engine):
+        query = selection_query_text(derby.config, 30)
+        plan = cost_engine.plan(query)
+        assert "scan" in plan.alternatives
+        assert "index(num)" in plan.alternatives
+        assert "sorted-index(num)" in plan.alternatives
+
+    def test_chosen_is_minimum(self, derby, cost_engine):
+        for pct in (10, 30, 60, 90):
+            plan = cost_engine.plan(selection_query_text(derby.config, pct))
+            best = min(e.seconds for e in plan.alternatives.values())
+            assert plan.estimate.seconds == best
+
+    def test_high_selectivity_scans(self, derby, cost_engine):
+        plan = cost_engine.plan(selection_query_text(derby.config, 90))
+        assert _chosen_label(plan) == "scan"
+
+    def test_multi_predicate_enumerates_both_indexes(self, cost_engine):
+        plan = cost_engine.plan(
+            "select p.age from p in Patients "
+            "where p.num > 600 and p.mrn < 100000"
+        )
+        families = {
+            label for label in plan.alternatives
+            if label != "scan" and not label.startswith("index-only")
+        }
+        assert "index(num)" in families or "sorted-index(num)" in families
+        assert "index(mrn)" in families or "sorted-index(mrn)" in families
+
+    def test_index_only_aggregate(self, cost_engine):
+        plan = cost_engine.plan(
+            "select count(p) from p in Patients where p.num < 600"
+        )
+        assert plan.index_only
+        assert _chosen_label(plan) == "index-only(num)"
+
+    def test_index_only_label_absent_for_plain_query(self, cost_engine):
+        plan = cost_engine.plan(
+            "select p.age from p in Patients where p.num < 600"
+        )
+        assert not any(
+            label.startswith("index-only") for label in plan.alternatives
+        )
+
+    def test_est_rows_tracks_actual(self, derby, cost_engine):
+        for pct in (10, 60):
+            query = selection_query_text(derby.config, pct)
+            plan = cost_engine.plan(query)
+            rows = cost_engine.execute(query)
+            assert plan.est_rows == pytest.approx(len(rows), rel=0.15)
+
+
+class TestJoinEnumeration:
+    def test_all_six_algorithms_with_extensions(self, derby, cost_engine):
+        query = tree_query_text(derby.config, 10, 90)
+        plan = cost_engine.plan(query)
+        assert set(plan.alternatives) == {
+            "NL", "NOJOIN", "PHJ", "CHJ", "PHJ-HYBRID", "SMJ"
+        }
+        assert plan.algorithm in plan.alternatives
+
+    def test_paper_four_without_extensions(self, derby, catalog, table_stats):
+        optimizer = CostBasedOptimizer(catalog)
+        optimizer.install_stats(table_stats)
+        engine = OQLEngine(catalog, optimizer=optimizer)
+        plan = engine.plan(tree_query_text(derby.config, 10, 90))
+        assert set(plan.alternatives) == {"NL", "NOJOIN", "PHJ", "CHJ"}
+
+    def test_chosen_is_minimum(self, derby, cost_engine):
+        for sel in ((10, 10), (10, 90), (90, 10), (90, 90)):
+            plan = cost_engine.plan(tree_query_text(derby.config, *sel))
+            best = min(plan.alternatives, key=lambda k:
+                       plan.alternatives[k].seconds)
+            assert plan.algorithm == best
+
+    def test_est_rows_tracks_actual(self, derby, cost_engine):
+        query = tree_query_text(derby.config, 10, 90)
+        plan = cost_engine.plan(query)
+        rows = cost_engine.execute(query)
+        assert plan.est_rows == pytest.approx(len(rows), rel=0.2)
+
+
+class TestSemanticEquivalence:
+    QUERIES = [
+        "select p.age from p in Patients where p.num > 600",
+        "select count(p) from p in Patients where p.mrn < 100000",
+        "select tuple(n: p.name, a: p.age) from p in Patients "
+        "where p.num > 900 and p.age < 60 order by p.age",
+    ]
+
+    def test_selection_rows_match_heuristic(
+        self, cost_engine, heuristic_engine
+    ):
+        for query in self.QUERIES:
+            cost_rows = cost_engine.execute(query)
+            heuristic_rows = heuristic_engine.execute(query)
+            assert sorted(map(repr, cost_rows)) == sorted(
+                map(repr, heuristic_rows)
+            )
+
+    def test_join_rows_match_heuristic(
+        self, derby, cost_engine, heuristic_engine
+    ):
+        for sel in ((10, 10), (90, 90)):
+            query = tree_query_text(derby.config, *sel)
+            cost_rows = cost_engine.execute(query)
+            heuristic_rows = heuristic_engine.execute(query)
+            assert sorted(map(repr, cost_rows)) == sorted(
+                map(repr, heuristic_rows)
+            )
+
+
+class TestFallbackWithoutStats:
+    def test_matches_heuristic_choices(self, derby, catalog,
+                                       heuristic_engine):
+        engine = OQLEngine(
+            catalog, optimizer=CostBasedOptimizer(catalog)
+        )
+        for pct in (10, 90):
+            query = selection_query_text(derby.config, pct)
+            cold = engine.plan(query)
+            heuristic = heuristic_engine.plan(query)
+            assert (cold.predicate is None) == (heuristic.predicate is None)
+            assert cold.sorted_rids == heuristic.sorted_rids
+        for sel in ((10, 10), (90, 90)):
+            query = tree_query_text(derby.config, *sel)
+            assert (engine.plan(query).algorithm
+                    == heuristic_engine.plan(query).algorithm)
+
+    def test_stats_property_roundtrip(self, catalog, table_stats):
+        optimizer = CostBasedOptimizer(catalog)
+        assert not optimizer.table_stats
+        optimizer.install_stats(table_stats)
+        assert optimizer.table_stats is table_stats
