@@ -1,4 +1,4 @@
-.PHONY: install test lint bench figures mix pipeline recover chaos shell analyze optimizer artifacts clean
+.PHONY: install test lint bench figures mix pipeline recover chaos shell analyze optimizer shard artifacts clean
 
 PYTHON ?= python
 # Run the package from the source tree; `make install` is optional.
@@ -57,6 +57,13 @@ analyze:
 # exits nonzero on any semantic mismatch or plan regression.
 optimizer:
 	$(PYTHON) benchmarks/bench_optimizer.py
+
+# Sharded scaling benchmark (1..32 shards, gated on semantic
+# equivalence + >=4x scan speedup at 8 shards) plus the seeded 2PC
+# crash/recovery chaos oracle -> results/sharding_scaling.txt.
+shard:
+	$(PYTHON) benchmarks/bench_sharding.py
+	$(PYTHON) -m repro shard chaos --cases 25
 
 shell:
 	$(PYTHON) -m repro shell

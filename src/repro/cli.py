@@ -23,6 +23,12 @@ Commands
     named crash point and restarts it through ARIES-lite;
     ``crash fuzz`` runs the seeded (workload x crash point) checker
     grid and exits nonzero on any recovery-contract violation.
+``shard``
+    Horizontal-sharding tooling: ``shard demo`` partitions a database
+    across N simulated nodes, runs a distributed query through the
+    coordinator and a sharded workload mix; ``shard chaos`` runs the
+    seeded two-phase-commit crash/recovery checker and exits nonzero
+    on any atomic-commitment violation.
 ``analyze``
     Collect optimizer statistics (extent cardinalities, equi-depth
     histograms, association fan-out) over a freshly built database,
@@ -491,6 +497,69 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+# ------------------------------------------------------------------ shard
+
+def cmd_shard_demo(args: argparse.Namespace) -> int:
+    """Partition a database, run a distributed query and a mix."""
+    from repro.bench.report import Table
+    from repro.dist import Coordinator, ShardedMixConfig, ShardedWorkload, load_sharded
+
+    config = _make_config(args)
+    cluster = load_sharded(config, args.shards, scheme=args.scheme)
+    coordinator = Coordinator(cluster)
+    cluster.start_cold()
+    threshold = config.num_threshold(args.selectivity)
+    query = f"select p.age from p in Patients where p.num > {threshold}"
+    rows = coordinator.execute(query, strategy=args.strategy)
+    plan = coordinator.last_plan
+    assert plan is not None
+    print(f"> {query}")
+    print(f"  {plan.description()}")
+    print(
+        f"  {len(rows)} rows in {cluster.elapsed_s:.3f} simulated s "
+        f"({cluster.total_busy_s:.3f} s of shard work, "
+        f"{cluster.msgs} messages)"
+    )
+    table = Table(
+        f"Per-shard meters ({args.shards}x{args.scheme})",
+        ["Shard", "Providers", "Patients", "Busy (s)", "Wait (s)",
+         "Msgs", "Pages read"],
+    )
+    for node, (providers, patients) in zip(
+        cluster.nodes, cluster.part.shard_sizes()
+    ):
+        table.add(
+            node.shard_id, providers, patients, node.busy_s,
+            node.remote_wait_s, node.msgs,
+            node.db.disk.counters.disk_reads,
+        )
+    print()
+    print(table)
+    print()
+    mix = ShardedMixConfig.from_clients(
+        args.clients, ops_per_client=args.ops, seed=args.seed
+    )
+    report = ShardedWorkload(cluster, mix).run()
+    print(report.table())
+    return 0
+
+
+def cmd_shard_chaos(args: argparse.Namespace) -> int:
+    """Run the seeded 2PC crash/recovery chaos checker."""
+    from repro.dist import run_2pc_chaos, summarize_2pc
+
+    results = run_2pc_chaos(
+        args.cases,
+        base_seed=args.seed,
+        check_determinism=not args.no_determinism,
+    )
+    print(summarize_2pc(results))
+    for r in results:
+        for failure in r.failures:
+            print(f"seed {r.seed}: {failure}", file=sys.stderr)
+    return 0 if all(r.ok for r in results) else 1
+
+
 # ------------------------------------------------------------------ layout
 
 def cmd_layout(args: argparse.Namespace) -> int:
@@ -731,6 +800,43 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--no-determinism", action="store_true",
                        help="skip the double-run determinism check")
     chaos.set_defaults(func=cmd_chaos)
+
+    shard = sub.add_parser(
+        "shard", help="horizontal-sharding demo and 2PC chaos checker"
+    )
+    shard_sub = shard.add_subparsers(dest="action", required=True)
+
+    shard_demo = shard_sub.add_parser(
+        "demo", help="partition a database, run a distributed query + mix"
+    )
+    _add_db_options(shard_demo)
+    shard_demo.add_argument("--shards", type=int, default=4,
+                            help="number of shard nodes")
+    shard_demo.add_argument("--scheme", choices=("hash", "range"),
+                            default="hash", help="partitioning scheme")
+    shard_demo.add_argument("--strategy", choices=("auto", "query", "data"),
+                            default="auto",
+                            help="shipping strategy for the demo query")
+    shard_demo.add_argument("--selectivity", type=float, default=10.0,
+                            help="selectivity (%%) of the demo selection")
+    shard_demo.add_argument("--clients", type=int, default=4,
+                            help="clients in the sharded mix")
+    shard_demo.add_argument("--ops", type=int, default=4,
+                            help="operations per client")
+    shard_demo.add_argument("--seed", type=int, default=1)
+    shard_demo.set_defaults(func=cmd_shard_demo)
+
+    shard_chaos = shard_sub.add_parser(
+        "chaos",
+        help="seeded 2PC crash/recovery checker over sharded clusters",
+    )
+    shard_chaos.add_argument("--cases", type=int, default=25,
+                             help="seeded crash-injected cases to run")
+    shard_chaos.add_argument("--seed", type=int, default=0,
+                             help="base seed (case i uses seed base+i)")
+    shard_chaos.add_argument("--no-determinism", action="store_true",
+                             help="skip the double-run determinism check")
+    shard_chaos.set_defaults(func=cmd_shard_chaos)
 
     layout = sub.add_parser(
         "layout", help="print the Figure 2 view of a database's files"

@@ -1,0 +1,90 @@
+"""Horizontal sharding: a simulated cluster over the single-node stack.
+
+The paper benchmarks a single-site object server; this package scales
+the same simulated machinery *out*.  A Derby database is partitioned
+across N :class:`ShardNode` instances — each a complete single-node
+stack (own disk, server buffer, lock manager, WAL) over its slice — and
+a coordinator plans distributed queries and commits distributed
+transactions on its own timeline:
+
+* :mod:`repro.dist.partition` — hash / range partitioning of the
+  provider extent, with patients co-located with their provider;
+* :class:`ShardNode` / :class:`ShardedCluster` — the nodes and the
+  coordinator's clock, decision log and RPC cost accounting
+  (:func:`load_sharded` builds the whole thing);
+* :class:`ExchangeOperator` — a Volcano operator merging per-shard
+  cursors with virtual parallelism (a drain costs the *slowest* shard,
+  not the sum);
+* :class:`Coordinator` — query-shipping vs data-shipping plans,
+  aggregate decomposition, order-by / distinct / limit recombination;
+* :class:`DistTransaction` — presumed-abort two-phase commit on the
+  per-shard WALs, with in-doubt branches resolved against the
+  coordinator's durable decision records at recovery;
+* :class:`GlobalLockTable` — cross-shard deadlock detection by unioning
+  the per-shard waits-for graphs;
+* :class:`ShardedWorkload` — deterministic multi-client mixes over the
+  cluster, and :mod:`repro.dist.chaos` — seeded 2PC crash/recovery
+  checking across all five protocol points.
+"""
+
+from repro.dist.chaos import (
+    TwoPCChaosResult,
+    point_coverage,
+    run_2pc_case,
+    run_2pc_chaos,
+    summarize_2pc,
+)
+from repro.dist.cluster import ShardedCluster, load_sharded
+from repro.dist.coordinator import SHIP_STRATEGIES, Coordinator, DistPlan
+from repro.dist.deadlock import GlobalLockTable
+from repro.dist.exchange import ExchangeOperator, coordinator_context
+from repro.dist.node import ShardNode
+from repro.dist.partition import (
+    PARTITION_SCHEMES,
+    PartitionMap,
+    hash_shard,
+    range_shard,
+    split_logical,
+)
+from repro.dist.twopc import (
+    TWOPC_CRASH_POINTS,
+    DistTransaction,
+    TwoPCInjector,
+)
+from repro.dist.workload import (
+    DIST_PROFILES,
+    ShardedMixConfig,
+    ShardedMixReport,
+    ShardedSessionReport,
+    ShardedWorkload,
+)
+
+__all__ = [
+    "PARTITION_SCHEMES",
+    "PartitionMap",
+    "hash_shard",
+    "range_shard",
+    "split_logical",
+    "ShardNode",
+    "ShardedCluster",
+    "load_sharded",
+    "GlobalLockTable",
+    "TWOPC_CRASH_POINTS",
+    "DistTransaction",
+    "TwoPCInjector",
+    "ExchangeOperator",
+    "coordinator_context",
+    "SHIP_STRATEGIES",
+    "Coordinator",
+    "DistPlan",
+    "DIST_PROFILES",
+    "ShardedMixConfig",
+    "ShardedMixReport",
+    "ShardedSessionReport",
+    "ShardedWorkload",
+    "TwoPCChaosResult",
+    "point_coverage",
+    "run_2pc_case",
+    "run_2pc_chaos",
+    "summarize_2pc",
+]

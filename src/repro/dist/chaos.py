@@ -1,0 +1,283 @@
+"""Seeded 2PC chaos: crash the cluster mid-protocol, recover, verify.
+
+The sharded analogue of :mod:`repro.service.chaos`.  Each case builds a
+fresh tiny cluster, draws a shard count, partition scheme, workload
+shape and a :class:`~repro.dist.twopc.TwoPCInjector` crash point from
+one seeded stream, runs the mix until the injector kills the cluster,
+then runs :meth:`~repro.dist.cluster.ShardedCluster.crash` /
+:meth:`~repro.dist.cluster.ShardedCluster.recover` and asserts the
+atomic-commitment contract **across all shards**:
+
+* **committed-visible** — every write acked to a client, *plus* every
+  write of a distributed transaction whose commit decision record went
+  durable before the crash (decided-but-unacked: the client never heard
+  the commit, but the decision is the commit point), is in the durable
+  state after recovery;
+* **uncommitted-gone** — a hot patient's durable age is its preload
+  value or a value written by an acked/decided transaction: no branch
+  of an undecided distributed transaction survives, even a branch that
+  voted yes (presumed abort);
+* **nothing leaks** — after recovery no shard holds locks, waiters or
+  open transactions, and no distributed transaction is registered;
+* **determinism** — re-running the same seed on a fresh cluster crashes
+  at the same point and reproduces an identical digest.
+
+A drawn occurrence can exceed the number of times the run reaches the
+crash point; those cases simply complete crash-free and are verified
+against the same oracle (with an empty decided-but-unacked set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.bench.report import Table
+from repro.derby import DerbyConfig
+from repro.dist.cluster import ShardedCluster, load_sharded
+from repro.dist.twopc import TWOPC_CRASH_POINTS, TwoPCInjector
+from repro.dist.workload import ShardedMixConfig, ShardedWorkload
+
+#: Scale of the per-case database: ~30 patients, loads in milliseconds.
+_SCALE = 0.00001
+
+
+@dataclass
+class TwoPCChaosResult:
+    """Outcome of one seeded 2PC chaos case."""
+
+    seed: int
+    n_shards: int
+    scheme: str
+    point: str
+    occurrence: int
+    clients: int
+    committed: int
+    aborted: int
+    crashed: bool
+    #: In-doubt branches recovery resolved from the decision log.
+    resolved_commit: int
+    resolved_abort: int
+    failures: list[str] = field(default_factory=list)
+    digest: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _draw_case(
+    seed: int,
+) -> tuple[int, str, float | None, ShardedMixConfig, TwoPCInjector]:
+    """The case generator: cluster + mix + crash point from one seed."""
+    rng = Random(seed * 104_729 + 13)
+    n_shards = rng.choice([2, 3, 4])
+    scheme = rng.choice(["hash", "range"])
+    lock_timeout_s = rng.choice([0.5, None])
+    config = ShardedMixConfig.from_clients(
+        rng.randint(2, 4),
+        ops_per_client=rng.randint(2, 4),
+        seed=seed,
+        max_retries=rng.randint(1, 3),
+        retry_backoff_s=rng.choice([0.005, 0.02]),
+        hot_set=rng.choice([6, 10]),
+    )
+    injector = TwoPCInjector(
+        rng.choice(TWOPC_CRASH_POINTS), occurrence=rng.randint(1, 3)
+    )
+    return n_shards, scheme, lock_timeout_s, config, injector
+
+
+def _durable_ages(
+    cluster: ShardedCluster, hot_homes: list[tuple[int, object]]
+) -> dict[tuple[int, object], int]:
+    return {
+        (sid, rid): int(
+            cluster.nodes[sid].db.manager.get_attr_at(rid, "age")
+        )
+        for sid, rid in hot_homes
+    }
+
+
+def _run_once(seed: int) -> TwoPCChaosResult:
+    n_shards, scheme, lock_timeout_s, config, injector = _draw_case(seed)
+    cluster = load_sharded(
+        DerbyConfig.db_1to3(scale=_SCALE),
+        n_shards,
+        scheme=scheme,
+        lock_timeout_s=lock_timeout_s,
+    )
+    part = cluster.part
+    hot = min(config.hot_set, len(part.patient_shard))
+    hot_homes = []
+    for idx in range(hot):
+        sid, local = part.patient_home(idx)
+        hot_homes.append((sid, cluster.nodes[sid].derby.patient_rids[local]))
+    # Preload ages *before* the run — the uncommitted-gone baseline.
+    preload = _durable_ages(cluster, hot_homes)
+
+    workload = ShardedWorkload(cluster, config)
+    injector.arm(cluster)
+    report = workload.run()
+
+    failures: list[str] = []
+    resolved_commit = 0
+    resolved_abort = 0
+    decided_unacked: list[int] = []
+    if report.crashed:
+        if not injector.fired:
+            failures.append("run crashed but the 2PC injector never fired")
+        cluster.crash()
+        # The durable decision records name the distributed transactions
+        # whose commit *won* even if no client heard the ack.
+        decided_globals = {
+            record.txn_id
+            for record in cluster.decision_log.durable_records()
+            if record.kind == "commit"
+        }
+        decided_unacked = sorted(decided_globals - workload.acked_globals)
+        recovery = cluster.recover()
+        resolved_commit = sum(r.txns_resolved_commit for r in recovery)
+        resolved_abort = sum(r.txns_resolved_abort for r in recovery)
+    elif injector.fired:
+        failures.append("injector fired but the run did not crash")
+
+    # -- nothing leaks --------------------------------------------------
+    if cluster.lock_table.lock_count:
+        failures.append(f"{cluster.lock_table.lock_count} locks leaked")
+    if cluster.lock_table.waiting_count:
+        failures.append(
+            f"{cluster.lock_table.waiting_count} lock waiters leaked"
+        )
+    for node in cluster.nodes:
+        if node.txm.active_count:
+            failures.append(
+                f"shard {node.shard_id}: {node.txm.active_count} "
+                "transactions left open"
+            )
+    if cluster.active_count:
+        failures.append(
+            f"{cluster.active_count} distributed transactions registered"
+        )
+
+    # -- committed-visible / uncommitted-gone ---------------------------
+    expected = dict(preload)
+    for home, value in workload.write_log:
+        expected[home] = value
+    for global_id in decided_unacked:
+        for home, value in workload.staged.get(global_id, []):
+            expected[home] = value
+    legal = {home: {preload[home]} for home in preload}
+    for home, value in workload.write_log:
+        legal[home].add(value)
+    for global_id in decided_unacked:
+        for home, value in workload.staged.get(global_id, []):
+            legal[home].add(value)
+    final = _durable_ages(cluster, hot_homes)
+    for home, value in final.items():
+        sid, rid = home
+        if value != expected[home]:
+            failures.append(
+                f"shard {sid} rid {tuple(rid)}: expected {expected[home]}, "
+                f"durable value {value} (lost update)"
+            )
+        if value not in legal[home]:
+            failures.append(
+                f"shard {sid} rid {tuple(rid)}: durable value {value} was "
+                "never committed (dirty write survived)"
+            )
+
+    digest = tuple(
+        (
+            s.name,
+            s.committed,
+            s.aborted,
+            s.retries,
+            s.deadlocks,
+            s.timeouts,
+            s.gave_up,
+            s.io_failures,
+        )
+        for s in report.sessions
+    ) + (
+        round(report.elapsed_s, 9),
+        report.context_switches,
+        report.crashed,
+        tuple(decided_unacked),
+        resolved_commit,
+        resolved_abort,
+        tuple(sorted((sid, tuple(rid), v) for (sid, rid), v in final.items())),
+    )
+    return TwoPCChaosResult(
+        seed=seed,
+        n_shards=n_shards,
+        scheme=scheme,
+        point=injector.point,
+        occurrence=injector.occurrence,
+        clients=config.total_clients,
+        committed=report.committed,
+        aborted=report.aborted,
+        crashed=report.crashed,
+        resolved_commit=resolved_commit,
+        resolved_abort=resolved_abort,
+        failures=failures,
+        digest=digest,
+    )
+
+
+def run_2pc_case(seed: int, check_determinism: bool = True) -> TwoPCChaosResult:
+    """Run one seeded 2PC chaos case (twice when determinism-checked)."""
+    result = _run_once(seed)
+    if check_determinism:
+        again = _run_once(seed)
+        if again.digest != result.digest:
+            result.failures.append(
+                f"seed {seed}: re-run produced a different digest "
+                "(determinism violated)"
+            )
+    return result
+
+
+def run_2pc_chaos(
+    cases: int, base_seed: int = 0, check_determinism: bool = True
+) -> list[TwoPCChaosResult]:
+    """Run ``cases`` seeded 2PC chaos cases; see the module docstring."""
+    return [
+        run_2pc_case(base_seed + i, check_determinism=check_determinism)
+        for i in range(cases)
+    ]
+
+
+def point_coverage(results: list[TwoPCChaosResult]) -> dict[str, int]:
+    """How many cases actually crashed at each protocol point."""
+    coverage = {point: 0 for point in TWOPC_CRASH_POINTS}
+    for r in results:
+        if r.crashed:
+            coverage[r.point] += 1
+    return coverage
+
+
+def summarize_2pc(results: list[TwoPCChaosResult]) -> Table:
+    """Render a per-case summary table with an aggregate note."""
+    table = Table(
+        f"2PC chaos: {len(results)} seeded crash-injected sharded runs",
+        ["Seed", "Shards", "Scheme", "CrashPoint", "Occ", "Committed",
+         "Aborted", "Crashed", "ResolvedC", "ResolvedA", "OK"],
+    )
+    for r in results:
+        table.add(
+            r.seed, r.n_shards, r.scheme, r.point, r.occurrence,
+            r.committed, r.aborted, "yes" if r.crashed else "no",
+            r.resolved_commit, r.resolved_abort, "ok" if r.ok else "FAIL",
+        )
+    bad = [r for r in results if not r.ok]
+    crashed = sum(1 for r in results if r.crashed)
+    covered = sum(1 for n in point_coverage(results).values() if n)
+    table.note(
+        f"{len(results) - len(bad)}/{len(results)} cases clean; "
+        f"{crashed} crashed ({covered}/{len(TWOPC_CRASH_POINTS)} protocol "
+        "points covered); invariants: committed-visible (incl. "
+        "decided-but-unacked), uncommitted-gone, zero leaks, "
+        "deterministic re-runs"
+    )
+    return table

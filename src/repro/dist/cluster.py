@@ -1,0 +1,244 @@
+"""The simulated cluster: N shard nodes plus the coordinator's timeline.
+
+A :class:`ShardedCluster` owns:
+
+* the :class:`~repro.dist.node.ShardNode` list (each a complete
+  single-node stack over its partition slice);
+* the **coordinator clock** — the experiment's timeline.  Shard clocks
+  meter per-node *work*; the coordinator charges that work to its own
+  timeline as it observes it: serially for a single :meth:`call`
+  (``Bucket.REMOTE`` = the shard's busy delta), in parallel for a
+  :meth:`fanout` (the **max** of the deltas — the other shards' work
+  overlaps it, which is where sharded scans get their speed-up);
+* a fixed ``Bucket.RPC`` charge per cross-node message, from the same
+  :class:`~repro.simtime.CostParams` the client/server wire always used;
+* the **decision log** — a coordinator-local
+  :class:`~repro.txn.log.WriteAheadLog` holding only two-phase-commit
+  decision records (see :mod:`repro.dist.twopc`);
+* the :class:`~repro.dist.deadlock.GlobalLockTable` and the distributed
+  transaction registry.
+
+:meth:`crash` power-cuts every node *and* the coordinator;
+:meth:`recover` restarts each shard with an in-doubt resolver that
+consults the durable decision log — the presumed-abort recovery rule.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.loader import load_derby
+from repro.derby.config import DerbyConfig
+from repro.derby.generator import LogicalDatabase, generate
+from repro.dist.deadlock import GlobalLockTable
+from repro.dist.node import ShardNode
+from repro.dist.partition import PartitionMap, split_logical
+from repro.dist.twopc import DistTransaction, TwoPCInjector
+from repro.recovery.aries import RecoveryReport, restart
+from repro.recovery.crash import crash_database
+from repro.simtime import Bucket, SimClock
+from repro.txn.log import WriteAheadLog
+
+
+class ShardedCluster:
+    """N shards, one coordinator timeline."""
+
+    def __init__(
+        self,
+        config: DerbyConfig,
+        part: PartitionMap,
+        nodes: list[ShardNode],
+        clock: SimClock,
+    ):
+        self.config = config
+        self.part = part
+        self.nodes = nodes
+        self.clock = clock
+        self.params = nodes[0].db.params
+        self.decision_log = WriteAheadLog(self.clock, self.params)
+        self.lock_table = GlobalLockTable(nodes)
+        #: Optional :class:`~repro.dist.twopc.TwoPCInjector`.
+        self.injector: TwoPCInjector | None = None
+        self._next_global = 1
+        self._active: dict[int, DistTransaction] = {}
+        self.msgs = 0
+        self.msg_bytes = 0
+        self.committed = 0
+        self.aborted = 0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def elapsed_s(self) -> float:
+        """The coordinator's timeline — the experiment's elapsed time."""
+        return self.clock.elapsed_s
+
+    @property
+    def total_busy_s(self) -> float:
+        """Sum of per-shard work (the cluster's aggregate effort)."""
+        return sum(node.busy_s for node in self.nodes)
+
+    # -- messaging ------------------------------------------------------
+
+    def call(self, node: ShardNode, fn, nbytes: int = 0):
+        """One round-trip to one shard: fixed RPC overhead, then the
+        shard's busy delta charged serially as remote wait."""
+        self.clock.charge_ms(Bucket.RPC, self.params.rpc_overhead_ms)
+        self._note_msg(node, nbytes)
+        before = node.db.clock.elapsed_s
+        try:
+            return fn()
+        finally:
+            delta = node.db.clock.elapsed_s - before
+            if delta > 0:
+                self.clock.charge_s(Bucket.REMOTE, delta)
+                node.remote_wait_s += delta
+
+    def fanout(self, calls, nbytes: int = 0, after_first=None):
+        """One round-trip to several shards *in parallel*: RPC overhead
+        per message, but only the slowest shard's busy delta is charged
+        (the rest overlap it).  ``calls`` is ``[(node, fn), ...]``;
+        ``after_first`` (used by 2PC crash injection) runs after the
+        first call completes."""
+        results = []
+        deltas: list[tuple[float, ShardNode]] = []
+        for i, (node, fn) in enumerate(calls):
+            self.clock.charge_ms(Bucket.RPC, self.params.rpc_overhead_ms)
+            self._note_msg(node, nbytes)
+            before = node.db.clock.elapsed_s
+            results.append(fn())
+            deltas.append((node.db.clock.elapsed_s - before, node))
+            if i == 0 and after_first is not None:
+                after_first()
+        if deltas:
+            slowest, node = max(deltas, key=lambda d: d[0])
+            if slowest > 0:
+                self.clock.charge_s(Bucket.REMOTE, slowest)
+                node.remote_wait_s += slowest
+        return results
+
+    def _note_msg(self, node: ShardNode, nbytes: int) -> None:
+        self.msgs += 1
+        self.msg_bytes += nbytes
+        node.msgs += 1
+        node.msg_bytes += nbytes
+
+    # -- distributed transactions ---------------------------------------
+
+    def begin(self) -> DistTransaction:
+        dtx = DistTransaction(self, self._next_global)
+        self._next_global += 1
+        self._active[dtx.global_id] = dtx
+        return dtx
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def _on_dist_finished(self, dtx: DistTransaction) -> None:
+        self._active.pop(dtx.global_id, None)
+        if dtx.state == "committed":
+            self.committed += 1
+        else:
+            self.aborted += 1
+
+    def reached(self, point: str, detail: str = "") -> None:
+        """Report a 2PC protocol step to the armed injector, if any."""
+        if self.injector is not None:
+            self.injector.reached(point, detail)
+
+    # -- crash / recovery -----------------------------------------------
+
+    def crash(self) -> None:
+        """Power-cut the whole cluster: every shard loses its volatile
+        state (see :func:`~repro.recovery.crash.crash_database`), the
+        coordinator loses its unflushed decision-log tail and every
+        open distributed transaction simply ceases to exist."""
+        for node in self.nodes:
+            crash_database(node.db, node.txm)
+        self.decision_log.crash()
+        for dtx in self._active.values():
+            dtx.state = "crashed"
+        self._active.clear()
+        self.lock_table.clear()
+        self.injector = None
+
+    def recover(self) -> list[RecoveryReport]:
+        """Restart every shard, resolving in-doubt 2PC branches against
+        the coordinator's durable decision records (presumed abort: no
+        decision record means abort)."""
+        decided = self.decided_branches()
+        reports = []
+        for node in self.nodes:
+            reports.append(
+                restart(
+                    node.db,
+                    node.txm,
+                    resolve_in_doubt=lambda txn_id, sid=node.shard_id: (
+                        "commit" if (sid, txn_id) in decided else "abort"
+                    ),
+                )
+            )
+        return reports
+
+    def decided_branches(self) -> set[tuple[int, int]]:
+        """``(shard, branch txn)`` pairs named by durable decision
+        records — the branches whose distributed commit won."""
+        return {
+            pair
+            for record in self.decision_log.durable_records()
+            if record.kind == "commit"
+            for pair in record.att
+        }
+
+    # -- experiment hygiene ---------------------------------------------
+
+    def start_cold(self) -> None:
+        """Cold caches and zeroed meters everywhere, including the
+        coordinator's clock and message counters."""
+        for node in self.nodes:
+            node.start_cold()
+            node.msgs = 0
+            node.msg_bytes = 0
+            node.remote_wait_s = 0.0
+        self.clock.reset()
+        self.msgs = 0
+        self.msg_bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardedCluster {self.n_shards}x{self.part.scheme} "
+            f"{self.config.n_providers}p/{self.config.n_patients}q>"
+        )
+
+
+def load_sharded(
+    config: DerbyConfig,
+    n_shards: int,
+    scheme: str = "hash",
+    logical: LogicalDatabase | None = None,
+    lock_timeout_s: float | None = None,
+    cost_optimizer: bool = False,
+) -> ShardedCluster:
+    """Generate (or reuse) the logical Derby database, partition it and
+    load every shard through the ordinary single-node loader.
+
+    Passing ``logical`` lets benchmarks generate once and split many
+    ways — the sharded copies then hold byte-identical attribute values,
+    which is what the semantic-equivalence gates compare against.
+    """
+    if logical is None:
+        logical = generate(config)
+    part, views = split_logical(logical, n_shards, scheme)
+    clock = SimClock()
+    nodes = [
+        ShardNode(
+            shard_id,
+            load_derby(view.config, logical=view),
+            clock,
+            lock_timeout_s=lock_timeout_s,
+            cost_optimizer=cost_optimizer,
+        )
+        for shard_id, view in enumerate(views)
+    ]
+    return ShardedCluster(config, part, nodes, clock)

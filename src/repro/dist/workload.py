@@ -1,0 +1,424 @@
+"""Deterministic mixed workloads over a sharded cluster.
+
+The sharded analogue of :class:`repro.service.WorkloadMixer`: sessions
+run as cooperative tasks on the **coordinator's** timeline, interleaved
+by the same round-robin scheduler the query service uses — except the
+scheduler's lock manager is the cluster's
+:class:`~repro.dist.deadlock.GlobalLockTable`, so a waits-for cycle that
+spans shards is detected (and its youngest distributed transaction
+aborted) exactly like a local one.
+
+Two profiles:
+
+* **scanners** run a distributed OQL selection through the
+  :class:`~repro.dist.coordinator.Coordinator`; the exchange operator's
+  per-pull hook takes a scheduler ``batch_point``, so shard streams
+  interleave with the updaters deterministically;
+* **updaters** run cross-shard distributed transactions: write-lock a
+  hot patient on one shard, yield (the window in which opposite-order
+  pairs deadlock), write-lock one on *another* shard, update both, and
+  commit with two-phase commit.
+
+The workload keeps three records the 2PC chaos checker turns into an
+oracle (:mod:`repro.dist.chaos`): ``write_log`` (acked writes in commit
+order), ``staged`` (every write by global transaction id, recorded
+*before* commit), and ``acked_globals``.  After a crash, a durable
+decision record whose global id was never acked marks writes that
+recovery **must** make durable even though no client heard the commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from random import Random
+from typing import TYPE_CHECKING
+
+from repro.bench.report import Table
+from repro.errors import (
+    DeadlockError,
+    DistError,
+    LockConflictError,
+    LockTimeoutError,
+    PermanentIOError,
+    SimulatedCrashError,
+)
+from repro.service.governor import RetryPolicy
+from repro.service.scheduler import CooperativeScheduler
+from repro.simtime import Bucket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dist.cluster import ShardedCluster
+    from repro.recovery.transient import TransientFaultInjector
+    from repro.storage.rid import Rid
+
+#: Profile names, in the order ``ShardedMixConfig.from_clients`` deals.
+DIST_PROFILES = ("scanner", "updater")
+
+
+@dataclass(frozen=True)
+class ShardedMixConfig:
+    """Shape of one multi-client mix over a sharded cluster."""
+
+    scanners: int = 1
+    updaters: int = 2
+    #: Operations (distributed transactions / queries) per client.
+    ops_per_client: int = 4
+    seed: int = 1
+    #: Retries after a deadlock/timeout abort before giving up on an op.
+    #: (The lock-wait bound itself is a *cluster* property — see the
+    #: ``lock_timeout_s`` argument of ``load_sharded``.)
+    max_retries: int = 2
+    #: Backoff before the first retry (simulated seconds; doubles per
+    #: retry, jittered from the session's seeded stream).
+    retry_backoff_s: float = 0.02
+    retry_jitter: float = 0.5
+    #: Updaters draw both patients from the first ``hot_set`` *global*
+    #: patient indices — small enough that write/write conflicts occur.
+    hot_set: int = 16
+    #: Selectivity (percent) of the scanner's OQL selection.
+    scan_selectivity_pct: float = 10.0
+    #: Shipping strategy for scanner queries (see ``Coordinator.plan``).
+    strategy: str = "auto"
+    #: Rows per exchange batch (``None``: the coordinator default).
+    batch_size: int | None = None
+
+    @property
+    def total_clients(self) -> int:
+        return self.scanners + self.updaters
+
+    @classmethod
+    def from_clients(
+        cls, n_clients: int, **overrides: object
+    ) -> "ShardedMixConfig":
+        """Deal ``n_clients`` round-robin over scanner/updater."""
+        if n_clients < 1:
+            raise DistError("a sharded mix needs at least one client")
+        counts = {p: 0 for p in DIST_PROFILES}
+        for i in range(n_clients):
+            counts[DIST_PROFILES[i % len(DIST_PROFILES)]] += 1
+        return replace(
+            cls(scanners=counts["scanner"], updaters=counts["updater"]),
+            **overrides,  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class ShardedSessionReport:
+    """One session's outcome."""
+
+    name: str
+    profile: str
+    committed: int = 0
+    aborted: int = 0
+    deadlocks: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    gave_up: int = 0
+    io_failures: int = 0
+    rows: int = 0
+    lock_wait_s: float = 0.0
+
+
+@dataclass
+class ShardedMixReport:
+    """Aggregate outcome of one sharded mix run."""
+
+    config: ShardedMixConfig
+    sessions: list[ShardedSessionReport]
+    n_shards: int
+    #: Simulated seconds on the coordinator's timeline.
+    elapsed_s: float
+    context_switches: int
+    #: Cross-node messages / bytes the run sent.
+    msgs: int
+    msg_bytes: int
+    #: ``True`` when a :class:`~repro.dist.twopc.TwoPCInjector` killed
+    #: the run; the cluster is left crashed, awaiting ``recover()``.
+    crashed: bool = False
+
+    @property
+    def committed(self) -> int:
+        return sum(s.committed for s in self.sessions)
+
+    @property
+    def aborted(self) -> int:
+        return sum(s.aborted for s in self.sessions)
+
+    @property
+    def deadlocks(self) -> int:
+        return sum(s.deadlocks for s in self.sessions)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(s.timeouts for s in self.sessions)
+
+    @property
+    def retries(self) -> int:
+        return sum(s.retries for s in self.sessions)
+
+    @property
+    def gave_up(self) -> int:
+        return sum(s.gave_up for s in self.sessions)
+
+    @property
+    def throughput_ops_s(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.committed / self.elapsed_s
+
+    def table(self) -> Table:
+        table = Table(
+            f"Sharded mix ({self.n_shards} shards): "
+            f"{self.config.scanners} scanner(s) + "
+            f"{self.config.updaters} updater(s), "
+            f"{self.config.ops_per_client} ops each",
+            ["Session", "Profile", "Committed", "Aborted", "Retries",
+             "Deadlocks", "Timeouts", "Rows", "Wait (s)"],
+        )
+        for s in self.sessions:
+            table.add(
+                s.name, s.profile, s.committed, s.aborted, s.retries,
+                s.deadlocks, s.timeouts, s.rows, s.lock_wait_s,
+            )
+        table.note(
+            f"aggregate: {self.committed} committed, {self.aborted} "
+            f"aborted ({self.retries} retried, {self.gave_up} gave up) "
+            f"in {self.elapsed_s:.2f} simulated s -> "
+            f"{self.throughput_ops_s:.3f} txn/s; "
+            f"{self.msgs} messages, {self.context_switches} switches"
+        )
+        return table
+
+
+class ShardedWorkload:
+    """Spawns and runs one deterministic mix over a cluster."""
+
+    def __init__(
+        self,
+        cluster: "ShardedCluster",
+        config: ShardedMixConfig,
+        faults: "TransientFaultInjector | None" = None,
+    ):
+        from repro.dist.coordinator import Coordinator  # local: same layer
+
+        self.cluster = cluster
+        self.config = config
+        #: Per-shard transient faults are derived via
+        #: :meth:`~repro.recovery.transient.TransientFaultInjector.for_node`
+        #: so each shard's fault schedule is a function of (seed, shard)
+        #: alone, independent of the global read interleaving.
+        self.faults = faults
+        self._node_faults: "list[TransientFaultInjector]" = []
+        self.coordinator = Coordinator(
+            cluster,
+            **({} if config.batch_size is None
+               else {"batch_size": config.batch_size}),
+        )
+        self.scheduler: CooperativeScheduler | None = None
+        #: Acked committed writes in commit order:
+        #: ``((shard, rid), value)``.  The single deterministic timeline
+        #: totally orders commits, so the last write per (shard, rid) is
+        #: the expected durable value.
+        self.write_log: "list[tuple[tuple[int, Rid], int]]" = []
+        #: Every write staged by a distributed transaction, keyed by its
+        #: global id, recorded *before* 2PC starts.
+        self.staged: "dict[int, list[tuple[tuple[int, Rid], int]]]" = {}
+        #: Global ids whose commit ack reached the client.
+        self.acked_globals: set[int] = set()
+
+    # -- the run --------------------------------------------------------
+
+    def run(self, cold: bool = True) -> ShardedMixReport:
+        cluster = self.cluster
+        config = self.config
+        if config.total_clients < 1:
+            raise DistError("a sharded mix needs at least one client")
+        if cold:
+            cluster.start_cold()
+        self.write_log = []
+        self.staged = {}
+        self.acked_globals = set()
+        scheduler = CooperativeScheduler(cluster.clock, cluster.lock_table)
+        self.scheduler = scheduler
+        if self.faults is not None:
+            self._node_faults = [
+                self.faults.for_node(node.shard_id) for node in cluster.nodes
+            ]
+            for node, child in zip(cluster.nodes, self._node_faults):
+                child.arm(node.db, node.locks)
+        reports: list[ShardedSessionReport] = []
+        start_s = cluster.elapsed_s
+        spawned = 0
+        for profile, count in (
+            ("scanner", config.scanners),
+            ("updater", config.updaters),
+        ):
+            for i in range(count):
+                name = f"{profile}{i}"
+                report = ShardedSessionReport(name, profile)
+                rng = Random(config.seed * 10_007 + spawned)
+                scheduler.spawn(name, self._session_body(report, profile, rng))
+                reports.append(report)
+                spawned += 1
+        try:
+            tasks = scheduler.run()
+            crashed = any(
+                isinstance(t.error, SimulatedCrashError) for t in tasks
+            )
+            for report, task in zip(reports, tasks):
+                report.lock_wait_s = task.lock_wait_s
+            if crashed:
+                # Volatile state is meaningless past the crash point;
+                # leave the cluster as the injector froze it — the chaos
+                # checker calls cluster.crash() / recover() itself.
+                pass
+            else:
+                for task in tasks:
+                    if task.error is not None:
+                        raise task.error
+        finally:
+            # The cluster outlives this workload: leave no scheduler
+            # wiring or transient faults behind to corrupt later runs.
+            cluster.lock_table.detach()
+            for node, child in zip(cluster.nodes, self._node_faults):
+                child.disarm(node.db, node.locks)
+            self._node_faults = []
+        return ShardedMixReport(
+            config=config,
+            sessions=reports,
+            n_shards=cluster.n_shards,
+            elapsed_s=cluster.elapsed_s - start_s,
+            context_switches=scheduler.context_switches,
+            msgs=cluster.msgs,
+            msg_bytes=cluster.msg_bytes,
+            crashed=crashed,
+        )
+
+    # -- session bodies -------------------------------------------------
+
+    def _session_body(
+        self, report: ShardedSessionReport, profile: str, rng: Random
+    ):
+        op = {
+            "scanner": self._scanner_op,
+            "updater": self._updater_op,
+        }[profile]
+        cluster = self.cluster
+        config = self.config
+        assert self.scheduler is not None
+        scheduler = self.scheduler
+        policy = RetryPolicy(
+            max_retries=config.max_retries,
+            base_backoff_s=config.retry_backoff_s,
+            jitter=config.retry_jitter,
+        )
+
+        def backoff(seconds: float) -> None:
+            if seconds > 0:
+                cluster.clock.charge_s(Bucket.BACKOFF, seconds)
+            scheduler.yield_point()
+
+        def body() -> None:
+            for __ in range(config.ops_per_client):
+                attempt = 0
+                while True:
+                    try:
+                        op(report, rng)
+                    except LockConflictError as exc:
+                        # Transient: the victim of a deadlock or a lock
+                        # timeout retries with seeded backoff + jitter.
+                        if isinstance(exc, DeadlockError):
+                            report.deadlocks += 1
+                        elif isinstance(exc, LockTimeoutError):
+                            report.timeouts += 1
+                        report.aborted += 1
+                        if attempt >= policy.max_retries:
+                            report.gave_up += 1
+                            break
+                        report.retries += 1
+                        backoff(policy.backoff_s(attempt, rng))
+                        attempt += 1
+                    except PermanentIOError:
+                        # A read fault that out-lasted the disk's retry
+                        # budget: the op is lost, not retried.
+                        report.io_failures += 1
+                        report.gave_up += 1
+                        break
+                    else:
+                        break
+                scheduler.yield_point()  # think time between operations
+
+        return body
+
+    def _scanner_op(self, report: ShardedSessionReport, rng: Random) -> None:
+        config = self.config
+        threshold = self.cluster.config.num_threshold(
+            config.scan_selectivity_pct
+        )
+        assert self.scheduler is not None
+        rows = self.coordinator.execute(
+            f"select p.age from p in Patients where p.num > {threshold}",
+            strategy=config.strategy,
+            on_batch=self.scheduler.batch_point,
+        )
+        report.rows += len(rows)
+        report.committed += 1
+
+    def _updater_op(self, report: ShardedSessionReport, rng: Random) -> None:
+        cluster = self.cluster
+        part = cluster.part
+        hot = min(self.config.hot_set, len(part.patient_shard))
+        if hot < 2:
+            raise DistError("updater needs at least two hot patients")
+        first, second = rng.sample(range(hot), 2)
+        if cluster.n_shards > 1:
+            # Prefer a genuinely cross-shard pair: redraw the second
+            # patient (bounded, from the session's own stream) until it
+            # lives on a different shard than the first.
+            for __ in range(8):
+                if part.patient_home(second)[0] != part.patient_home(first)[0]:
+                    break
+                second = rng.randrange(hot)
+                if second == first:
+                    second = (second + 1) % hot
+        targets: "list[tuple[int, Rid]]" = []
+        for idx in (first, second):
+            shard_id, local = part.patient_home(idx)
+            rid = cluster.nodes[shard_id].derby.patient_rids[local]
+            targets.append((shard_id, rid))
+        assert self.scheduler is not None
+        dtx = cluster.begin()
+        try:
+            writes: "list[tuple[tuple[int, Rid], int]]" = []
+            for i, (shard_id, rid) in enumerate(targets):
+                node = cluster.nodes[shard_id]
+                txn = dtx.branch(shard_id)
+                cluster.call(node, lambda t=txn, r=rid: t.write_lock(r))
+                if i == 0:
+                    # The window in which opposite-order pairs deadlock.
+                    self.scheduler.yield_point()
+            for shard_id, rid in targets:
+                node = cluster.nodes[shard_id]
+                age = cluster.call(
+                    node,
+                    lambda n=node, r=rid: n.db.manager.get_attr_at(r, "age"),
+                )
+                value = (int(age) % 90) + 1
+                dtx.update_scalar(shard_id, rid, "age", value)
+                writes.append(((shard_id, rid), value))
+            self.staged[dtx.global_id] = list(writes)
+            dtx.commit()
+        except BaseException as exc:
+            # After a simulated crash the shard logs refuse service, so
+            # rolling back would just crash again — the cluster-level
+            # crash/recover path owns cleanup from here.
+            if dtx.state == "active" and not isinstance(
+                exc, SimulatedCrashError
+            ):
+                dtx.abort()
+            raise
+        # Ack: the client heard the commit.  On the single timeline ack
+        # order == commit order — the chaos checker's primary oracle.
+        self.acked_globals.add(dtx.global_id)
+        self.write_log.extend(writes)
+        report.committed += 1

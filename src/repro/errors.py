@@ -171,3 +171,21 @@ class PlanError(QueryError):
 
 class BenchError(ReproError):
     """Benchmark-harness failures (unknown figure, bad configuration)."""
+
+
+class DistError(ReproError):
+    """Base class for distributed-execution (``repro.dist``) failures."""
+
+
+class PartitionError(DistError):
+    """Invalid partitioning request (bad scheme, bad shard count)."""
+
+
+class DistPlanError(DistError):
+    """The coordinator could not produce a distributed plan (unsupported
+    query shape for the requested shipping strategy)."""
+
+
+class TwoPCError(DistError):
+    """Two-phase-commit protocol violation (commit on a non-active
+    distributed transaction, unknown participant, bad crash point)."""

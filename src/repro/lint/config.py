@@ -35,6 +35,7 @@ DEFAULT_LAYER_ORDER = (
     "recovery",
     "bench",
     "service",
+    "dist",
     "analysis",
     "lint",
     "cli",

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro.simtime import Bucket
 from repro.txn.log import (
     ABORT_RECORD_BYTES,
+    COMMIT_RECORD_BYTES,
     CHECKPOINT_ATT_ENTRY_BYTES,
     CHECKPOINT_DPT_ENTRY_BYTES,
     CHECKPOINT_HEADER_BYTES,
@@ -55,6 +56,11 @@ class RecoveryReport:
     records_undone: int = 0
     pages_flushed: int = 0
     losers: tuple[int, ...] = ()
+    #: Transactions with a durable ``prepare`` vote but no durable
+    #: outcome — 2PC branches whose fate the coordinator must decide.
+    txns_in_doubt: tuple[int, ...] = ()
+    txns_resolved_commit: int = 0
+    txns_resolved_abort: int = 0
 
 
 def take_checkpoint(db, txm, flush_pages: bool = True) -> LogRecord:
@@ -87,10 +93,18 @@ def take_checkpoint(db, txm, flush_pages: bool = True) -> LogRecord:
     return record
 
 
-def restart(db, txm) -> RecoveryReport:
+def restart(db, txm, resolve_in_doubt=None) -> RecoveryReport:
     """Run analysis/redo/undo over the durable log and disk, leaving the
     database consistent: every durably-committed change applied, every
-    loser rolled back and aborted, all recovered pages flushed."""
+    loser rolled back and aborted, all recovered pages flushed.
+
+    ``resolve_in_doubt`` handles two-phase-commit branches: a transaction
+    with a durable ``prepare`` record but no outcome is *in doubt*, and
+    the callback (local txn id -> ``"commit"`` | ``"abort"``) asks the
+    coordinator's decision log for its fate.  Resolved commits get a
+    commit record (their redo already repeated history); everything else
+    — including all in-doubt branches when no resolver is given — is
+    undone as a loser (presumed abort)."""
     clock = db.clock
     params = db.params
     wal = txm.log
@@ -114,6 +128,7 @@ def restart(db, txm) -> RecoveryReport:
         att.update(checkpoint.att)
         dpt.update(checkpoint.dpt)
         scan_from = cp_idx
+    prepared: set[int] = set()
     for record in records[scan_from:]:
         report.log_records_scanned += 1
         clock.charge_us(Bucket.LOG, params.log_apply_us)
@@ -122,11 +137,30 @@ def restart(db, txm) -> RecoveryReport:
         elif record.kind in PHYSICAL_KINDS:
             att[record.txn_id] = record.lsn
             dpt.setdefault(record.page_key, record.lsn)
+        elif record.kind == "prepare":
+            att[record.txn_id] = record.lsn
+            prepared.add(record.txn_id)
         elif record.kind == "commit":
             att.pop(record.txn_id, None)
+            prepared.discard(record.txn_id)
         elif record.kind == "abort":
             att.pop(record.txn_id, None)
+            prepared.discard(record.txn_id)
     report.txns_committed = sum(1 for r in records if r.kind == "commit")
+
+    # In-doubt resolution: a prepared branch is not a loser until the
+    # coordinator says so.
+    in_doubt = sorted(t for t in att if t in prepared)
+    report.txns_in_doubt = tuple(in_doubt)
+    resolved_commit: dict[int, int] = {}  # txn id -> prev_lsn for commit
+    for txn_id in in_doubt:
+        decision = (
+            "abort" if resolve_in_doubt is None else resolve_in_doubt(txn_id)
+        )
+        if decision == "commit":
+            resolved_commit[txn_id] = att.pop(txn_id)
+    report.txns_resolved_commit = len(resolved_commit)
+    report.txns_resolved_abort = len(in_doubt) - len(resolved_commit)
     losers = sorted(att)
     report.losers = tuple(losers)
 
@@ -197,7 +231,16 @@ def restart(db, txm) -> RecoveryReport:
     for txn_id in losers:
         wal.append(txn_id, "abort", ABORT_RECORD_BYTES, prev_lsn=att[txn_id])
     report.txns_undone = len(losers)
-    if losers or undo_records:
+    # In-doubt branches the coordinator decided to commit: redo already
+    # repeated their history, so only the durable outcome is missing.
+    for txn_id in sorted(resolved_commit):
+        wal.append(
+            txn_id,
+            "commit",
+            COMMIT_RECORD_BYTES,
+            prev_lsn=resolved_commit[txn_id],
+        )
+    if losers or undo_records or resolved_commit:
         wal.flush()
 
     # --- charge the log read (pages covering everything we consulted) --

@@ -75,6 +75,25 @@ class TransientFaultInjector:
         #: for the reads this injector faulted).
         self.faults_injected = 0
 
+    def for_node(self, node_id: int) -> "TransientFaultInjector":
+        """A child injector for one shard of a cluster, with the same
+        fault configuration but an independent seed derived from this
+        injector's seed and the node id.
+
+        Sharing one injector across shards would make fault placement
+        depend on the global interleaving of reads (whichever shard
+        draws next consumes the stream), so adding a shard would reshuffle
+        every other shard's faults.  Per-node derived streams keep each
+        shard's fault schedule a function of (seed, node id) alone."""
+        return TransientFaultInjector(
+            seed=self.seed * 1_000_003 + 31 * node_id + 7,
+            read_fault_rate=self.read_fault_rate,
+            read_fault_persistence=self.read_fault_persistence,
+            storm_mean_gap_s=self.storm_mean_gap_s,
+            storm_len_s=self.storm_len_s,
+            storm_timeout_s=self.storm_timeout_s,
+        )
+
     # -- arming ----------------------------------------------------------
 
     def arm(self, db, locks=None) -> None:

@@ -29,6 +29,7 @@ class Bucket(enum.Enum):
     LOCK = "lock"            # lock manager
     LOAD = "load"            # object creation / record moves
     BACKOFF = "backoff"      # retry backoff after aborts / faults
+    REMOTE = "remote"        # waiting on parallel work at remote shards
 
 
 @dataclass

@@ -12,6 +12,7 @@ from repro.stats.export import (
     mix_to_csv,
     optimizer_to_csv,
     recovery_to_csv,
+    sharding_to_csv,
     to_csv,
     to_gnuplot,
 )
@@ -27,4 +28,5 @@ __all__ = [
     "mix_to_csv",
     "optimizer_to_csv",
     "recovery_to_csv",
+    "sharding_to_csv",
 ]

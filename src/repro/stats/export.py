@@ -190,6 +190,43 @@ def optimizer_to_csv(rows) -> str:
     return out.getvalue()
 
 
+_SHARDING_COLUMNS = (
+    "label",
+    "n_shards",
+    "scheme",
+    "shard",
+    "providers",
+    "patients",
+    "busy_s",
+    "remote_wait_s",
+    "msgs",
+    "msg_bytes",
+    "pages_read",
+    "pages_written",
+    "rows_shipped",
+    "lock_wait_s",
+)
+
+
+def sharding_to_csv(rows) -> str:
+    """Render per-shard benchmark records (``bench_sharding``'s rows:
+    one line per shard per configuration — pages, messages, queue
+    waits) as CSV.  Duck-typed like :func:`mix_to_csv` so this module
+    never imports ``repro.dist``; any object carrying the column
+    attributes works, missing ones render empty."""
+    out = io.StringIO()
+    out.write(",".join(_SHARDING_COLUMNS) + "\n")
+    for row in rows:
+        values = [getattr(row, col, "") for col in _SHARDING_COLUMNS]
+        out.write(
+            ",".join(
+                f"{v:.4f}" if isinstance(v, float) else str(v) for v in values
+            )
+            + "\n"
+        )
+    return out.getvalue()
+
+
 def to_gnuplot(
     rows: Sequence[StatRow],
     x: str = "selectivity",

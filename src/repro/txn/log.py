@@ -33,6 +33,9 @@ from repro.units import PAGE_SIZE, pages_for_bytes
 BEGIN_RECORD_BYTES = 24
 COMMIT_RECORD_BYTES = 16
 ABORT_RECORD_BYTES = 16
+#: Two-phase-commit vote record: a commit-sized marker plus the
+#: coordinator's transaction id (see ``repro.dist.twopc``).
+PREPARE_RECORD_BYTES = 24
 UPDATE_HEADER_BYTES = 32
 CHECKPOINT_HEADER_BYTES = 32
 CHECKPOINT_ATT_ENTRY_BYTES = 16
@@ -58,7 +61,7 @@ class LogRecord:
 
     txn_id: int
     kind: str      # "begin" | "create" | "update" | "clr" | "delete"
-    #              # | "commit" | "abort" | "checkpoint"
+    #              # | "prepare" | "commit" | "abort" | "checkpoint"
     nbytes: int
     #: Log sequence number (1-based, assigned at append; 0 = unassigned,
     #: e.g. records from legacy cost-only callers predating recovery).
