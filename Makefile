@@ -1,4 +1,4 @@
-.PHONY: install test lint bench figures mix pipeline recover chaos shell analyze optimizer shard artifacts clean
+.PHONY: install test lint lint-graph bench figures mix pipeline recover chaos shell analyze optimizer shard artifacts clean
 
 PYTHON ?= python
 # Run the package from the source tree; `make install` is optional.
@@ -11,13 +11,22 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # simlint (always available — stdlib only), then ruff/mypy when
-# installed; CI installs and runs both unconditionally.
+# installed; CI installs and runs both unconditionally.  The simlint
+# run includes the interprocedural rules (ATOM/PROTO/ESCAPE) built on
+# the shared may-yield call graph.
 lint:
-	$(PYTHON) -m repro lint
+	$(PYTHON) -m repro lint --timing
 	@if command -v ruff >/dev/null 2>&1; then ruff check src; \
 	else echo "ruff not installed; skipped (CI runs it)"; fi
 	@if command -v mypy >/dev/null 2>&1; then mypy; \
 	else echo "mypy not installed; skipped (CI runs it)"; fi
+
+# Dump simlint's interprocedural call graph (may-yield set highlighted)
+# for triage; CI uploads the same file as the `lint-graph` artifact
+# when the lint job fails.
+lint-graph:
+	$(PYTHON) -m repro lint --dump-graph lint-graph.dot || true
+	@echo "wrote lint-graph.dot (render with: dot -Tsvg lint-graph.dot)"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

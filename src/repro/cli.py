@@ -285,6 +285,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 continue
             if words[0] == r"\begin":
                 with service.immediate(current):
+                    # simlint: ok[PROTO] interactive txn spans shell commands; \commit / \abort complete it
                     current.begin()
                 continue
             if words[0] == r"\commit":
@@ -308,6 +309,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     continue
                 with service.immediate(current):
                     if current.txn is None or current.txn.state != "active":
+                        # simlint: ok[PROTO] auto-begin for \lock; the shell's \commit / \abort complete it
                         current.begin()
                     if mode == "w":
                         current.write_lock(rids[idx])

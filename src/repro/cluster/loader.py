@@ -135,75 +135,83 @@ def load_derby(
     txn = txm.begin(logged=config.logged_load)
     created_in_batch = 0
 
-    for kind, idx, fname in placement_order(logical, config.clustering):
-        if created_in_batch >= config.commit_batch:
-            txn.commit()
-            report.commits += 1
-            txn = txm.begin(logged=config.logged_load)
-            created_in_batch = 0
-        if kind == PATIENT_STEP:
+    try:
+        for kind, idx, fname in placement_order(logical, config.clustering):
+            if created_in_batch >= config.commit_batch:
+                txn.commit()
+                report.commits += 1
+                txn = txm.begin(logged=config.logged_load)
+                created_in_batch = 0
+            if kind == PATIENT_STEP:
+                patient = logical.patients[idx]
+                owner = provider_rids[patient.provider_idx]
+                if owner is None:
+                    deferred_refs.append(idx)
+                rid = txn.create_object(
+                    PATIENT_CLASS,
+                    {
+                        "name": patient.name,
+                        "mrn": patient.mrn,
+                        "age": patient.age,
+                        "sex": patient.sex,
+                        "random_integer": patient.random_integer,
+                        "num": patient.num,
+                        "primary_care_provider": owner,
+                    },
+                    fname,
+                    index_ids=patient_index_ids,
+                )
+                patient_rids[idx] = rid
+                patients.append(rid)
+            else:
+                provider = logical.providers[idx]
+                rid = txn.create_object(
+                    PROVIDER_CLASS,
+                    {
+                        "name": provider.name,
+                        "upin": provider.upin,
+                        "address": provider.address,
+                        "specialty": provider.specialty,
+                        "office": provider.office,
+                        "clients": clients_placeholder,
+                    },
+                    fname,
+                    index_ids=provider_index_ids,
+                )
+                provider_rids[idx] = rid
+                providers.append(rid)
+            created_in_batch += 1
+            report.objects_created += 1
+
+        # -- the association join (paper, Section 3.2) ---------------------
+        # Fix patients created before their provider existed (random order).
+        for idx in deferred_refs:
             patient = logical.patients[idx]
-            owner = provider_rids[patient.provider_idx]
-            if owner is None:
-                deferred_refs.append(idx)
-            rid = txn.create_object(
-                PATIENT_CLASS,
-                {
-                    "name": patient.name,
-                    "mrn": patient.mrn,
-                    "age": patient.age,
-                    "sex": patient.sex,
-                    "random_integer": patient.random_integer,
-                    "num": patient.num,
-                    "primary_care_provider": owner,
-                },
-                fname,
-                index_ids=patient_index_ids,
+            db.manager.update_scalar(
+                patient_rids[idx],                      # type: ignore[arg-type]
+                "primary_care_provider",
+                provider_rids[patient.provider_idx],
             )
-            patient_rids[idx] = rid
-            patients.append(rid)
-        else:
-            provider = logical.providers[idx]
-            rid = txn.create_object(
-                PROVIDER_CLASS,
-                {
-                    "name": provider.name,
-                    "upin": provider.upin,
-                    "address": provider.address,
-                    "specialty": provider.specialty,
-                    "office": provider.office,
-                    "clients": clients_placeholder,
-                },
-                fname,
-                index_ids=provider_index_ids,
+        # Fill every provider's clients set; large sets spill, growing
+        # records may move (the "not always right next to them" effect).
+        for i, provider in enumerate(logical.providers):
+            members = [patient_rids[j] for j in provider.patient_idxs]
+            new_rid = db.manager.update_set(
+                provider_rids[i],                        # type: ignore[arg-type]
+                "clients",
+                db.prepare_set(members),
             )
-            provider_rids[idx] = rid
-            providers.append(rid)
-        created_in_batch += 1
-        report.objects_created += 1
+            provider_rids[i] = new_rid
 
-    # -- the association join (paper, Section 3.2) ---------------------
-    # Fix patients created before their provider existed (random order).
-    for idx in deferred_refs:
-        patient = logical.patients[idx]
-        db.manager.update_scalar(
-            patient_rids[idx],                      # type: ignore[arg-type]
-            "primary_care_provider",
-            provider_rids[patient.provider_idx],
-        )
-    # Fill every provider's clients set; large sets spill, growing
-    # records may move (the "not always right next to them" effect).
-    for i, provider in enumerate(logical.providers):
-        members = [patient_rids[j] for j in provider.patient_idxs]
-        new_rid = db.manager.update_set(
-            provider_rids[i],                        # type: ignore[arg-type]
-            "clients",
-            db.prepare_set(members),
-        )
-        provider_rids[i] = new_rid
-
-    txn.commit()
-    report.commits += 1
+        txn.commit()
+        report.commits += 1
+    except BaseException:
+        # a failed load is unrecoverable by design (the caller
+        # rebuilds from scratch), but the open batch transaction
+        # must still release its locks and WAL claim on the way out
+        if txn.state == "active":
+            txn.abort()
+        raise
     providers.flush()
     patients.flush()
 

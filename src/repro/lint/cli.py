@@ -11,7 +11,7 @@ from dataclasses import replace
 
 from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfig, load_config
-from repro.lint.report import render_json, render_text
+from repro.lint.report import render_json, render_sarif, render_text
 from repro.lint.runner import lint_paths
 
 EXIT_CLEAN = 0
@@ -28,7 +28,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -54,6 +54,16 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--show-suppressed",
         action="store_true",
         help="also list findings silenced by inline ok[...] comments",
+    )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="print per-rule wall time (plus parse/callgraph) to stderr",
+    )
+    parser.add_argument(
+        "--dump-graph",
+        metavar="PATH",
+        help="write the call graph (DOT, may-yield set highlighted) to PATH",
     )
 
 
@@ -83,6 +93,18 @@ def run_lint(args: argparse.Namespace) -> int:
 
     result = lint_paths(tuple(args.paths) or None, config)
 
+    if getattr(args, "dump_graph", None):
+        assert result.project is not None
+        with open(args.dump_graph, "w", encoding="utf-8") as fh:
+            fh.write(result.project.callgraph.to_dot())
+        print(f"simlint: call graph written to {args.dump_graph}", file=sys.stderr)
+    if getattr(args, "timing", False):
+        total = sum(result.timings.values())
+        print("simlint: timing", file=sys.stderr)
+        for name, spent in result.timings.items():
+            print(f"  {name:10s} {spent * 1000.0:8.1f} ms", file=sys.stderr)
+        print(f"  {'total':10s} {total * 1000.0:8.1f} ms", file=sys.stderr)
+
     baseline_path = args.baseline or config.baseline
     baselined = 0
     findings = result.findings
@@ -107,7 +129,11 @@ def run_lint(args: argparse.Namespace) -> int:
             return EXIT_USAGE
         findings, baselined = baseline.filter(findings)
 
-    render = render_json if args.format == "json" else render_text
+    render = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }[args.format]
     print(render(findings, result.files_checked, baselined), end="")
     if args.format == "text":
         print()

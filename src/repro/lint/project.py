@@ -57,6 +57,18 @@ class Module:
         return False
 
 
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved-enough call: bare callee name plus the receiver
+    chain it was invoked through (``self.locks.acquire(...)`` ->
+    name 'acquire', recv ('self', 'locks'))."""
+
+    name: str
+    recv: tuple[str, ...]
+    line: int
+    col: int
+
+
 @dataclass
 class FunctionInfo:
     """One function/method, with everything CHARGE needs pre-extracted.
@@ -69,8 +81,11 @@ class FunctionInfo:
     qualname: str             # "ClassName.method" or "function"
     module: Module
     node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: Enclosing class name, or None for module-level functions.
+    owner_class: str | None = None
     called_names: set[str] = field(default_factory=set)
     attr_names: set[str] = field(default_factory=set)
+    call_sites: list[CallSite] = field(default_factory=list)
     charges_directly: bool = False
     is_property: bool = False
 
@@ -109,6 +124,10 @@ class _FunctionScanner(ast.NodeVisitor):
         name = call_name(node)
         if name is not None:
             self.info.called_names.add(name)
+            chain = tuple(_dotted(node.func))
+            self.info.call_sites.append(
+                CallSite(name, chain[:-1], node.lineno, node.col_offset)
+            )
             if name in self.config.charge_calls:
                 self.info.charges_directly = True
         self.generic_visit(node)
@@ -149,18 +168,29 @@ class Project:
         self.functions: list[FunctionInfo] = []
         #: bare name -> every project function with that name.
         self.defs_by_name: dict[str, list[FunctionInfo]] = {}
-        self._reach_charge: dict[int, bool] = {}
+        self._callgraph = None
         for module in modules:
             self._index_module(module)
+
+    @property
+    def callgraph(self):
+        """The project-wide call graph with may-yield summaries, built
+        once on first use and shared by every rule in the run."""
+        if self._callgraph is None:
+            from repro.lint.callgraph import CallGraph
+
+            self._callgraph = CallGraph(self, self.config)
+        return self._callgraph
 
     # -- indexing ---------------------------------------------------------
 
     def _index_module(self, module: Module) -> None:
-        def register(node, qualname: str) -> None:
+        def register(node, qualname: str, owner: str | None = None) -> None:
             info = FunctionInfo(
                 qualname=qualname,
                 module=module,
                 node=node,
+                owner_class=owner,
                 is_property=_is_property(node),
             )
             _FunctionScanner(info, self.config).visit(node)
@@ -173,56 +203,21 @@ class Project:
             elif isinstance(top, ast.ClassDef):
                 for item in top.body:
                     if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                        register(item, f"{top.name}.{item.name}")
+                        register(item, f"{top.name}.{item.name}", top.name)
 
     # -- charge reachability ----------------------------------------------
+    # Both queries delegate to the shared call graph, which computes the
+    # full name-resolved closures once and caches them for every rule.
 
     def reaches_charge(self, info: FunctionInfo) -> bool:
         """Can ``info`` reach a ``charge_*`` call or counter bump through
         the name-resolved call graph (including itself)?"""
-        return self._reaches(info, frozenset())
+        return self.callgraph.reaches_charge(info)
 
-    def _reaches(self, info: FunctionInfo, _seen: frozenset) -> bool:
-        key = id(info)
-        if key in self._reach_charge:
-            return self._reach_charge[key]
-        if key in _seen:
-            return False
-        if info.charges_directly:
-            self._reach_charge[key] = True
-            return True
-        seen = _seen | {key}
-        for name in info.called_names:
-            for callee in self.defs_by_name.get(name, ()):
-                if self._reaches(callee, seen):
-                    self._reach_charge[key] = True
-                    return True
-        if _seen == frozenset():
-            # Only cache negative answers at the top of the recursion:
-            # mid-cycle "False" is provisional.
-            self._reach_charge[key] = False
-        return False
-
-    def touches(self, info: FunctionInfo, _seen: frozenset = frozenset()) -> str | None:
+    def touches(self, info: FunctionInfo) -> str | None:
         """Does ``info`` touch a costed resource (directly or through a
         project-defined callee)?  Returns a short reason, or ``None``."""
-        config = self.config
-        direct_calls = info.called_names & set(config.charge_touch_methods)
-        if direct_calls:
-            return f"calls {sorted(direct_calls)[0]}()"
-        direct_attrs = info.attr_names & set(config.charge_touch_attrs)
-        if direct_attrs:
-            return f"accesses .{sorted(direct_attrs)[0]}"
-        key = id(info)
-        if key in _seen:
-            return None
-        seen = _seen | {key}
-        for name in sorted(info.called_names):
-            for callee in self.defs_by_name.get(name, ()):
-                reason = self.touches(callee, seen)
-                if reason is not None:
-                    return f"calls {name}(), which {reason}"
-        return None
+        return self.callgraph.touches(info)
 
 
 # -- building the project ---------------------------------------------------

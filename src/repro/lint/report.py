@@ -1,10 +1,29 @@
-"""Reporters: plain text for humans, JSON for tooling."""
+"""Reporters: text for humans, JSON for tooling, SARIF for CI."""
 
 from __future__ import annotations
 
 import json
 
 from repro.lint.findings import Finding
+
+#: One-line rule descriptions for the SARIF rule metadata.
+_RULE_DESCRIPTIONS = {
+    "SYNTAX": "File must parse as Python.",
+    "DET": "No wall-clock, OS entropy or hash-order nondeterminism.",
+    "CHARGE": "Measured paths must charge the simulated clock/counters.",
+    "LAYER": "Module imports must follow the architecture layer DAG.",
+    "PAIR": "Paired resources must be released on every exit path.",
+    "EXC": "No swallowed exceptions on measured paths.",
+    "ATOM": (
+        "No read-modify-write of shared server-tier state across a "
+        "may-yield call without a critical bracket."
+    ),
+    "PROTO": (
+        "Protocol state machines: txn lifecycle, WAL force rule, "
+        "2PC decision-log discipline."
+    ),
+    "ESCAPE": "Borrowed handles must not escape their with block.",
+}
 
 
 def render_text(
@@ -39,6 +58,76 @@ def render_json(
                 "fingerprint": f.fingerprint,
             }
             for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def render_sarif(
+    findings: list[Finding], files_checked: int, baselined: int = 0
+) -> str:
+    """SARIF 2.1.0, the format CI annotation uploaders consume.  One
+    run, one result per finding; the simlint fingerprint rides along as
+    a partial fingerprint so re-runs dedupe."""
+    rule_ids = sorted({f.rule for f in findings} | set(_RULE_DESCRIPTIONS))
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": _RULE_DESCRIPTIONS.get(rule_id, rule_id)
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_ids.index(f.rule),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    },
+                    "logicalLocations": (
+                        [{"fullyQualifiedName": f.symbol}] if f.symbol else []
+                    ),
+                }
+            ],
+            "partialFingerprints": {"simlint/v1": f.fingerprint},
+        }
+        for f in findings
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": "https://example.invalid/simlint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "properties": {
+                    "filesChecked": files_checked,
+                    "baselined": baselined,
+                },
+                "results": results,
+            }
         ],
     }
     return json.dumps(payload, indent=2) + "\n"

@@ -8,11 +8,12 @@ suppressions or baselines — the runner filters their output.
 
 from __future__ import annotations
 
-from repro.lint.rules import charge, det, exc, layer, pair
+from repro.lint.rules import atom, charge, det, escape, exc, layer, pair, proto
 
 #: name -> rule module, in report-priority order.
 ALL_RULES = {
-    module.NAME: module for module in (det, charge, layer, pair, exc)
+    module.NAME: module
+    for module in (det, charge, layer, pair, exc, atom, proto, escape)
 }
 
 __all__ = ["ALL_RULES"]

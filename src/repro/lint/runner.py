@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+# simlint: ok[DET] analyzer wall time is reporting, not simulated cost
+import time
 from dataclasses import dataclass, field
 
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, sort_findings
-from repro.lint.project import build_project, iter_python_files
+from repro.lint.project import Project, build_project, iter_python_files
 
 
 @dataclass
@@ -18,6 +20,11 @@ class LintResult:
     suppressed: int = 0
     #: findings whose inline suppression matched, for --show-suppressed.
     suppressed_findings: list[Finding] = field(default_factory=list)
+    #: rule name -> wall seconds spent in its check() (--timing); the
+    #: pseudo-entries "parse" and "callgraph" cover the shared work.
+    timings: dict[str, float] = field(default_factory=dict)
+    #: the analyzed project, for --dump-graph and debugging.
+    project: Project | None = None
 
 
 def lint_paths(
@@ -30,12 +37,33 @@ def lint_paths(
     config = config or LintConfig()
     target_paths = tuple(paths) if paths else config.paths
     files = iter_python_files(target_paths, config.root)
+
+    timings: dict[str, float] = {}
+    # simlint: ok[DET] analyzer wall time is reporting, not simulated cost
+    t0 = time.perf_counter()
     project, syntax_findings = build_project(files, config)
+    # simlint: ok[DET] analyzer wall time is reporting, not simulated cost
+    timings["parse"] = time.perf_counter() - t0
+
+    # build the shared call graph once, up front, so per-rule timings
+    # measure the rules and not whoever touches the graph first
+    # simlint: ok[DET] analyzer wall time is reporting, not simulated cost
+    t0 = time.perf_counter()
+    graph = project.callgraph
+    graph.yield_chains
+    graph.reach_charge_set
+    graph.touch_reasons
+    # simlint: ok[DET] analyzer wall time is reporting, not simulated cost
+    timings["callgraph"] = time.perf_counter() - t0
 
     selected = [name for name in config.select if name in ALL_RULES]
     raw: list[Finding] = list(syntax_findings)
     for name in selected:
+        # simlint: ok[DET] analyzer wall time is reporting, not simulated cost
+        t0 = time.perf_counter()
         raw.extend(ALL_RULES[name].check(project, config))
+        # simlint: ok[DET] analyzer wall time is reporting, not simulated cost
+        timings[name] = time.perf_counter() - t0
 
     modules_by_path = {module.path: module for module in project.modules}
     kept: list[Finding] = []
@@ -52,4 +80,6 @@ def lint_paths(
         files_checked=len(files),
         suppressed=len(suppressed),
         suppressed_findings=sort_findings(suppressed),
+        timings=timings,
+        project=project,
     )

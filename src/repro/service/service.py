@@ -157,6 +157,23 @@ class Session:
             raise ServiceError(f"session {self.name!r} has no open transaction")
         return self.txn
 
+    @contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """Begin a transaction scoped to the ``with`` block: committed on
+        normal exit, aborted when the body raises.  The bracketed form
+        workload operations use so a lock conflict, I/O failure or
+        governor cancellation mid-operation can never leak an open
+        transaction (and its locks) back to the retry loop."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if txn.state == "active":
+                self.abort()
+            raise
+        if txn.state == "active":
+            self.commit()
+
     # -- operations ---------------------------------------------------------
 
     def execute(self, oql: str) -> list:

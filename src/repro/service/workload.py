@@ -430,31 +430,29 @@ class WorkloadMixer:
         provider_rid = derby.provider_rids[
             rng.randrange(len(derby.provider_rids))
         ]
-        session.begin()
-        session.read_lock(provider_rid)
-        clients = session.get_attr(provider_rid, "clients")
-        child_rids = []
-        for rid in derby.db.iter_set_rids(clients):
-            child_rids.append(rid)
-            if len(child_rids) >= self.config.navigator_fanout:
-                break
-        for rid in child_rids:
-            session.read_lock(rid)
-            session.get_attr(rid, "age")
-        session.metrics.queries += 1
-        session.commit()
+        with session.transaction():
+            session.read_lock(provider_rid)
+            clients = session.get_attr(provider_rid, "clients")
+            child_rids = []
+            for rid in derby.db.iter_set_rids(clients):
+                child_rids.append(rid)
+                if len(child_rids) >= self.config.navigator_fanout:
+                    break
+            for rid in child_rids:
+                session.read_lock(rid)
+                session.get_attr(rid, "age")
+            session.metrics.queries += 1
 
     def _scanner_op(self, session: Session, rng: Random) -> None:
         derby = self.derby
         hot = min(self.config.hot_set, len(derby.patient_rids))
         threshold = derby.config.num_threshold(self.config.scan_selectivity_pct)
-        session.begin()
-        for __ in range(self.config.scanner_lock_samples):
-            session.read_lock(derby.patient_rids[rng.randrange(hot)])
-        session.execute(
-            f"select p.age from p in Patients where p.num > {threshold}"
-        )
-        session.commit()
+        with session.transaction():
+            for __ in range(self.config.scanner_lock_samples):
+                session.read_lock(derby.patient_rids[rng.randrange(hot)])
+            session.execute(
+                f"select p.age from p in Patients where p.num > {threshold}"
+            )
 
     def _updater_op(self, session: Session, rng: Random) -> None:
         derby = self.derby
@@ -464,17 +462,16 @@ class WorkloadMixer:
         first, second = rng.sample(range(hot), 2)
         rid_a = derby.patient_rids[first]
         rid_b = derby.patient_rids[second]
-        session.begin()
-        session.write_lock(rid_a)
-        session.pause()  # the window in which opposite-order pairs deadlock
-        session.write_lock(rid_b)
         writes: list[tuple[Rid, int]] = []
-        for rid in (rid_a, rid_b):
-            age = session.get_attr(rid, "age")
-            value = (int(age) % 90) + 1
-            session.update_scalar(rid, "age", value)
-            writes.append((rid, value))
-        session.commit()
+        with session.transaction():
+            session.write_lock(rid_a)
+            session.pause()  # the window in which opposite-order pairs deadlock
+            session.write_lock(rid_b)
+            for rid in (rid_a, rid_b):
+                age = session.get_attr(rid, "age")
+                value = (int(age) % 90) + 1
+                session.update_scalar(rid, "age", value)
+                writes.append((rid, value))
         # Ack order on the single timeline == commit order: the oracle
         # the chaos checker verifies durable state against.
         self.write_log.extend(writes)

@@ -1,0 +1,23 @@
+"""ATOM fixtures: cross-yield read-modify-write on shared state."""
+
+
+class Gate:
+    def lost_update(self, sid):
+        count = self.admissions            # read of shared state
+        self.scheduler.yield_point()       # another session runs here
+        self.admissions = count + 1        # line 8: stale write -> ATOM
+
+    def check_then_act(self, sid):
+        depth = len(self._queue)           # read of shared state
+        self.locks.acquire(sid, "w")
+        if depth < 4:
+            self._queue.append(sid)        # line 14: guarded by acquire -> ok
+
+    def check_then_append(self, sid):
+        depth = len(self._queue)           # read of shared state
+        self.scheduler.wait_for_admission(sid)
+        if depth < 4:
+            self._queue.append(sid)        # line 20: stale append -> ATOM
+
+    def aug_with_yielding_rhs(self):
+        self.admissions += self.pool.get_page(0)   # line 23: RMW spans a fault -> ATOM

@@ -1,0 +1,24 @@
+"""ATOM fixtures: the same shapes, correctly bracketed."""
+
+
+class Gate:
+    def bracketed(self, sid):
+        with self._cv:
+            count = self.admissions
+            self.scheduler.yield_point()
+            self.admissions = count + 1    # inside the critical bracket
+
+    def locked_first(self, sid):
+        self.locks.acquire(sid, "w")       # strict-2PL: lock owns the record
+        count = self.admissions
+        self.scheduler.yield_point()
+        self.admissions = count + 1
+
+    def no_yield_between(self, sid):
+        count = self.admissions
+        self.admissions = count + 1        # no suspension point in between
+        self.scheduler.yield_point()
+
+    def fresh_read_after_yield(self, sid):
+        self.scheduler.yield_point()
+        self.admissions += 1               # augmented RMW is one statement

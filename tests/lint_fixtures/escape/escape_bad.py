@@ -1,0 +1,30 @@
+"""ESCAPE fixtures: borrowed handles leaking out of their with block."""
+
+
+def returns_handle(om, rid):
+    with om.borrow(rid) as handle:
+        return handle                      # line 6 -> ESCAPE
+
+
+def yields_handles(om, rids):
+    for rid in rids:
+        with om.borrow(rid) as handle:
+            yield handle                   # line 12 -> ESCAPE
+
+
+class Cache:
+    def stash(self, om, rid):
+        with om.borrow(rid) as handle:
+            self.kept = handle             # line 18 -> ESCAPE
+
+
+def collects_handles(om, rids, out):
+    for rid in rids:
+        with om.borrow(rid) as handle:
+            out.append(handle)             # line 24 -> ESCAPE
+
+
+def uses_after_block(om, rid):
+    with om.borrow(rid) as handle:
+        pass
+    return handle.value                    # line 30 -> ESCAPE

@@ -1,0 +1,17 @@
+"""PROTO fixtures: 2PC decision-log discipline violations."""
+
+
+def commit_without_decision(branches):
+    for branch in branches:
+        branch.prepare()                   # line 6: prepare round
+    for branch in branches:
+        branch.commit()                    # line 8: no decision-log write -> PROTO
+
+
+def callback_commit_without_decision(cluster, branch):
+    branch.prepare()
+    cluster.call_soon(branch.commit)       # line 13: commit handed out, undecided -> PROTO
+
+
+def ad_hoc_resolution(coordinator, gid):
+    coordinator.decide(gid, resolve_in_doubt="commit")   # line 17 -> PROTO

@@ -1,0 +1,14 @@
+"""PROTO fixtures: presumed-abort 2PC, done right."""
+
+
+def commit_with_decision(cluster, branches):
+    for branch in branches:
+        branch.prepare()
+    cluster.decision_log.append("commit")  # the decision IS this record
+    cluster.decision_log.flush()
+    for branch in branches:
+        branch.commit()
+
+
+def recovery_resolution(cluster):
+    cluster.restart(resolve_in_doubt=True)  # recovery owns in-doubt txns

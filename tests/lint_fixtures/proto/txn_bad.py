@@ -1,0 +1,28 @@
+"""PROTO fixtures: transaction lifecycle violations."""
+
+
+def leaks_on_branch(txm, flag):
+    txn = txm.begin()                      # line 5: open on the else path -> PROTO
+    if flag:
+        txn.commit()
+
+
+def leaks_in_loop(txm, items):
+    txn = txm.begin()                      # line 11: open after the loop -> PROTO
+    for item in items:
+        if item.bad:
+            txn.abort()
+            return
+    # fell through without commit
+
+
+def exception_leak(txm, db):
+    txn = txm.begin()                      # line 20: db.poke() may raise -> PROTO
+    db.poke()
+    txn.commit()
+
+
+def double_completion(txm):
+    txn = txm.begin()
+    txn.commit()
+    txn.commit()                           # line 28: second completion -> PROTO

@@ -1,0 +1,32 @@
+"""PROTO fixtures: well-bracketed transaction lifecycles."""
+
+
+def bracketed(session, db):
+    with session.transaction():
+        db.poke()
+
+
+def try_completes(txm, db):
+    txn = txm.begin()
+    try:
+        db.poke()
+        txn.commit()
+    except RuntimeError:
+        txn.abort()
+
+
+def state_tested_retry(txm, db):
+    for _attempt in range(3):
+        txn = txm.begin()
+        try:
+            db.poke()
+            txn.commit()
+            return
+        except RuntimeError:
+            if txn.state == "active":
+                txn.abort()
+
+
+def ownership_transfer(txm):
+    txn = txm.begin()
+    return txn                             # caller now owns the lifecycle

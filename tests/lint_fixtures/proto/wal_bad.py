@@ -1,0 +1,12 @@
+"""PROTO fixtures: WAL force-rule violations."""
+
+
+def commit_record_not_forced(wal, tid):
+    wal.append(tid, "commit")              # line 5: never flushed -> PROTO
+    return tid
+
+
+def releases_before_force(wal, locks, tid):
+    wal.append(tid, "commit")
+    locks.release_all(tid)                 # line 11: locks gone, record volatile -> PROTO
+    wal.flush()

@@ -1,0 +1,11 @@
+"""PROTO fixtures: the WAL force rule, observed."""
+
+
+def forced_commit(wal, locks, tid):
+    wal.append(tid, "commit")
+    wal.flush()                            # force write before visibility
+    locks.release_all(tid)
+
+
+def unforced_kind(wal, tid):
+    wal.append(tid, "update")              # updates need no eager force

@@ -69,7 +69,108 @@ def test_layer_flags_upward_import():
 
 
 def test_clean_fixture_is_clean():
-    assert lint_fixture("clean.py", ("DET", "CHARGE", "LAYER", "PAIR", "EXC")) == []
+    assert (
+        lint_fixture(
+            "clean.py",
+            ("DET", "CHARGE", "LAYER", "PAIR", "EXC", "ATOM", "PROTO", "ESCAPE"),
+        )
+        == []
+    )
+
+
+# -- interprocedural rules: ATOM / PROTO / ESCAPE ---------------------------
+
+
+def test_atom_flags_cross_yield_rmw():
+    findings = lint_fixture("atom", ("ATOM",))
+    assert {f.rule for f in findings} == {"ATOM"}
+    bad = [f for f in findings if f.path.endswith("rmw_bad.py")]
+    # the seeded lost update, the stale check-then-append, the yielding
+    # augmented assignment — and nothing in the bracketed counterparts
+    assert [f.line for f in bad] == [8, 20, 23]
+    assert not any(f.path.endswith("rmw_good.py") for f in findings)
+    assert "yield_point" in bad[0].message
+    assert "may-yield" in bad[1].message
+
+
+def test_proto_flags_txn_lifecycle():
+    findings = lint_fixture("proto/txn_bad.py", ("PROTO",))
+    assert {f.rule for f in findings} == {"PROTO"}
+    assert [f.line for f in findings] == [5, 11, 20, 28]
+    assert "still open" in findings[0].message      # branch leak
+    assert "still open" in findings[1].message      # loop fall-through leak
+    assert "can raise" in findings[2].message       # unprotected hazard
+    assert "exactly once" in findings[3].message    # double completion
+
+
+def test_proto_txn_good_is_clean():
+    assert lint_fixture("proto/txn_good.py", ("PROTO",)) == []
+
+
+def test_proto_flags_wal_force_rule():
+    findings = lint_fixture("proto/wal_bad.py", ("PROTO",))
+    assert [f.line for f in findings] == [5, 11]
+    assert "flush" in findings[0].message
+    assert "release" in findings[1].message
+
+
+def test_proto_wal_good_is_clean():
+    assert lint_fixture("proto/wal_good.py", ("PROTO",)) == []
+
+
+def test_proto_flags_missing_decision_log():
+    findings = lint_fixture("proto/twopc_bad.py", ("PROTO",))
+    assert [f.line for f in findings] == [8, 13, 17]
+    assert "decision" in findings[0].message        # direct branch commit
+    assert "decision" in findings[1].message        # commit handed out as callback
+    assert "resolve_in_doubt" in findings[2].message
+
+
+def test_proto_twopc_good_is_clean():
+    assert lint_fixture("proto/twopc_good.py", ("PROTO",)) == []
+
+
+def test_escape_flags_leaking_handles():
+    findings = lint_fixture("escape/escape_bad.py", ("ESCAPE",))
+    assert {f.rule for f in findings} == {"ESCAPE"}
+    assert [f.line for f in findings] == [6, 12, 18, 24, 30]
+    assert "returned" in findings[0].message
+    assert "yielded" in findings[1].message
+    assert "longer-lived state" in findings[2].message
+    assert "append()" in findings[3].message
+    assert "after its with block" in findings[4].message
+
+
+def test_escape_good_is_clean():
+    assert lint_fixture("escape/escape_good.py", ("ESCAPE",)) == []
+
+
+def test_callgraph_may_yield_closure(tmp_path):
+    src = tmp_path / "chain.py"
+    src.write_text(
+        "def leaf(sched):\n"
+        "    sched.yield_point()\n"
+        "\n"
+        "def middle(sched):\n"
+        "    leaf(sched)\n"
+        "\n"
+        "def top(sched):\n"
+        "    middle(sched)\n"
+        "\n"
+        "def pure(x):\n"
+        "    return x + 1\n"
+    )
+    result = lint_paths((str(src),), LintConfig(select=("ATOM",)))
+    graph = result.project.callgraph
+    funcs = {info.qualname: info for info in result.project.functions}
+    assert graph.may_yield(funcs["leaf"])
+    assert graph.may_yield(funcs["top"])  # transitive, two hops
+    assert not graph.may_yield(funcs["pure"])
+    chain = graph.yield_chain(funcs["top"])
+    assert "middle" in chain and "yield_point" in chain
+    dot = graph.to_dot()
+    assert "digraph" in dot
+    assert "may-yield" in dot
 
 
 # -- suppressions -----------------------------------------------------------
@@ -179,7 +280,9 @@ def test_cli_exits_nonzero_on_fixtures(capsys):
     code = lint_main(["--no-config", str(FIXTURES)])
     out = capsys.readouterr().out
     assert code == 1
-    for rule in ("DET", "CHARGE", "LAYER", "PAIR", "EXC"):
+    for rule in (
+        "DET", "CHARGE", "LAYER", "PAIR", "EXC", "ATOM", "PROTO", "ESCAPE"
+    ):
         assert rule in out
 
 
@@ -197,6 +300,47 @@ def test_cli_json_format(capsys):
     assert payload["files_checked"] == 1
     assert [f["rule"] for f in payload["findings"]] == ["DET"]
     assert payload["findings"][0]["fingerprint"]
+
+
+def test_cli_sarif_format(capsys):
+    code = lint_main(
+        ["--no-config", "--format", "sarif", str(FIXTURES / "det_wallclock.py")]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    for rule in ("ATOM", "PROTO", "ESCAPE"):
+        assert rule in rule_ids
+    results = run["results"]
+    assert [r["ruleId"] for r in results] == ["DET"]
+    region = results[0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 7
+    assert results[0]["partialFingerprints"]["simlint/v1"]
+
+
+def test_cli_timing_reports_per_rule(capsys):
+    code = lint_main(["--no-config", "--timing", str(FIXTURES / "clean.py")])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "simlint: timing" in err
+    for name in ("parse", "callgraph", "ATOM", "PROTO", "ESCAPE", "total"):
+        assert name in err
+
+
+def test_cli_dump_graph(tmp_path, capsys):
+    dot = tmp_path / "graph.dot"
+    code = lint_main(
+        ["--no-config", "--dump-graph", str(dot), str(FIXTURES / "atom")]
+    )
+    assert code == 1
+    assert f"call graph written to {dot}" in capsys.readouterr().err
+    text = dot.read_text()
+    assert "digraph" in text
+    assert "may-yield" in text
+    assert "lost_update" in text  # calls yield_point() -> in the may-yield set
 
 
 def test_cli_unknown_rule_is_usage_error(capsys):
