@@ -1,4 +1,4 @@
-.PHONY: install test lint lint-graph bench figures mix pipeline recover chaos shell analyze optimizer shard artifacts clean
+.PHONY: install test lint lint-graph bench figures mix pipeline recover chaos shell analyze optimizer shard mvcc artifacts clean
 
 PYTHON ?= python
 # Run the package from the source tree; `make install` is optional.
@@ -73,6 +73,12 @@ optimizer:
 shard:
 	$(PYTHON) benchmarks/bench_sharding.py
 	$(PYTHON) -m repro shard chaos --cases 25
+
+# Snapshot isolation vs strict 2PL on the same contended mix, gated on
+# zero reader lock waits, SI throughput > 2PL and identical committed
+# end states -> BENCH_mvcc.json + results/mvcc_mix.txt.
+mvcc:
+	$(PYTHON) benchmarks/bench_mvcc.py
 
 shell:
 	$(PYTHON) -m repro shell

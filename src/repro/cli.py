@@ -367,6 +367,7 @@ def cmd_mix(args: argparse.Namespace) -> int:
         statement_timeout_s=args.statement_timeout,
         max_active=args.max_active,
         optimizer=args.optimizer,
+        isolation=args.isolation,
     )
     config = _make_config(args)
     print(f"loading {config.n_providers} providers / "
@@ -744,6 +745,11 @@ def build_parser() -> argparse.ArgumentParser:
     mix.add_argument("--max-active", type=int, default=None,
                      help="admission control: sessions allowed to run an "
                           "op concurrently (others queue FIFO)")
+    mix.add_argument("--isolation", choices=("2pl", "si"), default="2pl",
+                     help="concurrency control: strict 2PL (readers take "
+                          "S locks) or MVCC snapshot isolation (lock-free "
+                          "snapshot reads, first-committer-wins writes; "
+                          "implies physical logging)")
     _add_optimizer_option(mix)
     mix.add_argument("--csv", default=None,
                      help="also export the Stat rows as CSV to this path")

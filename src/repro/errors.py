@@ -63,6 +63,13 @@ class HandleError(ObjectError):
     """Misuse of the handle table (double unreference, stale handle...)."""
 
 
+class RecordNotVisibleError(ObjectError):
+    """A snapshot-isolation reader asked for a record that has no version
+    visible at its snapshot (the object was created by a transaction that
+    committed after the reader's begin timestamp, or by one still
+    active).  Scans skip such rids; point reads surface the error."""
+
+
 class IndexError_(ReproError):
     """Base class for index failures (named with a trailing underscore to
     avoid shadowing the builtin :class:`IndexError`)."""
@@ -106,6 +113,14 @@ class LockTimeoutError(LockConflictError):
 class DeadlockError(LockConflictError):
     """The waits-for graph contains a cycle and this transaction was
     chosen as the victim (the youngest transaction in the cycle)."""
+
+
+class WriteConflictError(LockConflictError):
+    """First-committer-wins violation under snapshot isolation: another
+    transaction committed a version of the record after this
+    transaction's snapshot was taken.  Subclasses
+    :class:`LockConflictError` so the mixer's existing retry loop
+    (``RetryPolicy``) treats it as transient and retries."""
 
 
 class ServiceError(ReproError):

@@ -13,6 +13,7 @@ from __future__ import annotations
 from itertools import islice
 from typing import Callable
 
+from repro.errors import RecordNotVisibleError
 from repro.exec.operators.base import SKIP, Operator, PipelineContext
 from repro.exec.sorter import sort_charged
 from repro.index.btree import BTreeIndex
@@ -111,6 +112,9 @@ class Fetch(Operator):
         self.row_fn = row_fn
         self.transactional = transactional
         self.scanned = 0
+        #: Rids with no version visible at the reader's snapshot (objects
+        #: created after an MVCC snapshot began) — skipped, not errors.
+        self.not_visible = 0
         self._rids: list = []
         self._pos = 0
 
@@ -129,8 +133,12 @@ class Fetch(Operator):
             rid = self._rids[self._pos]
             self._pos += 1
             self.scanned += 1
-            with om.borrow(rid) as handle:
-                row = self.row_fn(om, handle)
+            try:
+                with om.borrow(rid) as handle:
+                    row = self.row_fn(om, handle)
+            except RecordNotVisibleError:
+                self.not_visible += 1
+                continue
             if row is not SKIP:
                 self.ctx.charge_result(self.transactional)
                 out.append(row)

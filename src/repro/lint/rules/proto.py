@@ -93,6 +93,10 @@ class _BeginSite:
     call: ast.Call
     var: str | None            # local name holding the txn, if any
     recv: tuple[str, ...]      # receiver chain of the begin call
+    #: literal ``isolation=`` keyword on the begin call (``"si"`` sites
+    #: get the sharper leak message: an open SI transaction pins the
+    #: MVCC garbage-collection horizon through its snapshot).
+    isolation: str | None = None
 
 
 class _TxnAnalysis:
@@ -276,7 +280,17 @@ def _find_begin_sites(
             if var == "\0escape":
                 continue
             recv = tuple(_dotted(node.func))[:-1]
-            sites.append(_BeginSite(node, var, recv))
+            isolation = next(
+                (
+                    kw.value.value
+                    for kw in node.keywords
+                    if kw.arg == "isolation"
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)
+                ),
+                None,
+            )
+            sites.append(_BeginSite(node, var, recv, isolation))
 
     # escape analysis on the txn variables
     tracked = {s.var for s in sites if s.var is not None}
@@ -332,18 +346,29 @@ def _check_txn(
                 if not completions
                 else "can exit with the transaction still open on some path"
             )
+            if site.isolation == "si":
+                message = (
+                    f'begin(isolation="si") here {what}; the leaked '
+                    "transaction's snapshot pins the MVCC GC horizon, so "
+                    "no version stashed after it can ever be swept; every "
+                    "path must complete the transaction exactly once (or "
+                    "transfer ownership) — justify with "
+                    "`# simlint: ok[PROTO] <why>`"
+                )
+            else:
+                message = (
+                    f"begin() here {what}; every path must complete "
+                    "the transaction exactly once (or transfer "
+                    "ownership) — justify with "
+                    "`# simlint: ok[PROTO] <why>`"
+                )
             findings.append(
                 Finding(
                     rule=NAME,
                     path=info.module.path,
                     line=site.call.lineno,
                     col=site.call.col_offset,
-                    message=(
-                        f"begin() here {what}; every path must complete "
-                        "the transaction exactly once (or transfer "
-                        "ownership) — justify with "
-                        "`# simlint: ok[PROTO] <why>`"
-                    ),
+                    message=message,
                     symbol=symbol,
                 )
             )

@@ -134,6 +134,11 @@ class Database:
         self.handles = HandleTable(self.clock, self.params, self.counters, handle_mode)
         self.manager = ObjectManager(self.schema, self.disk, self.handles)
         self.indexes: dict[str, "BTreeIndex"] = {}
+        #: Set by :class:`~repro.objects.versions.VersionManager` when one
+        #: attaches; restart (:func:`repro.recovery.aries.restart`) calls
+        #: its ``reload()`` so version chains are rebuilt from the durable
+        #: catalog instead of silently vanishing with the process.
+        self.version_manager = None
         self._files: dict[str, StorageFile] = {}
         self._names: dict[str, PersistentCollection] = {}
 

@@ -29,6 +29,11 @@ from repro.storage.rid import Rid
 FULL_HANDLE_BYTES = 60
 #: Bytes of the proposed compact literal handle.
 COMPACT_HANDLE_BYTES = 16
+#: Extra bytes a handle carries when its Section 4.4 *version pointer*
+#: is populated (an MVCC snapshot read resolved the rid to a version
+#: chain entry instead of the live record): the chain reference plus
+#: the version timestamp.
+VERSION_REF_BYTES = 8
 
 #: Fraction of the allocation cost charged when an existing handle is
 #: merely re-referenced (refcount bump, no allocation).
@@ -79,10 +84,16 @@ class Handle:
 
     @property
     def memory_bytes(self) -> int:
+        if self.version is not None:
+            return FULL_HANDLE_BYTES + VERSION_REF_BYTES
         return FULL_HANDLE_BYTES
 
     def __repr__(self) -> str:
-        return f"Handle({self.rid}, {self.class_def.name}, rc={self.refcount})"
+        version = "" if self.version is None else f", v@{self.version}"
+        return (
+            f"Handle({self.rid}, {self.class_def.name}, "
+            f"rc={self.refcount}{version})"
+        )
 
 
 class HandleTable:
@@ -115,13 +126,31 @@ class HandleTable:
         self.delayed_free_capacity = delayed_free_capacity
         self._live: dict[Rid, Handle] = {}
         self._parked: OrderedDict[Rid, Handle] = OrderedDict()
+        #: Version-tagged handles (MVCC snapshot reads), keyed by
+        #: ``(rid, version_ts)`` so readers at different snapshots get
+        #: distinct representatives of the same object.  Dropped at
+        #: refcount zero — the delayed-free list is for live records.
+        self._versioned: dict[tuple[Rid, int], Handle] = {}
         self.peak_live = 0
 
     # -- object handles -------------------------------------------------
 
-    def get(self, rid: Rid, loader: Callable[[], tuple[bytes, ClassDef]]) -> Handle:
+    def get(
+        self,
+        rid: Rid,
+        loader: Callable[[], tuple[bytes, ClassDef]],
+        version: int | None = None,
+    ) -> Handle:
         """Return a referenced handle for ``rid``, loading the record via
-        ``loader`` only if no handle exists yet."""
+        ``loader`` only if no handle exists yet.
+
+        With ``version`` (a commit timestamp), the handle represents
+        that *version chain entry* instead of the live record: its
+        ``version`` slot is populated (paper, Section 4.4 — the version
+        pointer), it costs :data:`VERSION_REF_BYTES` extra bytes, and it
+        is cached separately from live-record handles."""
+        if version is not None:
+            return self._get_versioned(rid, loader, version)
         handle = self._live.get(rid)
         if handle is not None:
             handle.refcount += 1
@@ -141,16 +170,41 @@ class HandleTable:
         self._charge_alloc(1.0)
         return handle
 
+    def _get_versioned(
+        self,
+        rid: Rid,
+        loader: Callable[[], tuple[bytes, ClassDef]],
+        version: int,
+    ) -> Handle:
+        key = (rid, version)
+        handle = self._versioned.get(key)
+        if handle is not None:
+            handle.refcount += 1
+            self._charge_alloc(_TOUCH_FRACTION)
+            return handle
+        record, class_def = loader()
+        handle = Handle(rid, record, class_def)
+        handle.version = version
+        self._versioned[key] = handle
+        self.counters.handles_allocated += 1
+        self._charge_alloc(1.0)
+        return handle
+
     def unreference(self, handle: Handle) -> None:
-        """Drop one reference; park the handle when none remain."""
+        """Drop one reference; park the handle when none remain (version
+        handles are freed outright — the snapshot that needed them is
+        the only plausible re-user)."""
         if handle.refcount <= 0:
             raise HandleError(f"double unreference of {handle!r}")
         handle.refcount -= 1
         self.counters.handles_unreferenced += 1
         self._charge_unref()
         if handle.refcount == 0:
-            del self._live[handle.rid]
-            self._park(handle)
+            if handle.version is not None:
+                self._versioned.pop((handle.rid, handle.version), None)
+            else:
+                del self._live[handle.rid]
+                self._park(handle)
 
     # -- literal handles ----------------------------------------------------
 
@@ -185,7 +239,7 @@ class HandleTable:
 
     @property
     def live_count(self) -> int:
-        return len(self._live)
+        return len(self._live) + len(self._versioned)
 
     @property
     def parked_count(self) -> int:
@@ -193,13 +247,16 @@ class HandleTable:
 
     @property
     def memory_bytes(self) -> int:
-        return (len(self._live) + len(self._parked)) * FULL_HANDLE_BYTES
+        tables = (self._live.values(), self._parked.values(),
+                  self._versioned.values())
+        return sum(h.memory_bytes for table in tables for h in table)
 
     # simlint: ok[CHARGE] restart discard models no O2 cost; reloads pay on next access
     def clear(self) -> None:
         """Forget every handle (client restart)."""
         self._live.clear()
         self._parked.clear()
+        self._versioned.clear()
 
     # simlint: ok[CHARGE] invalidation is free (see docstring); the reload pays
     def forget_page(self, file_id: int, page_no: int) -> None:
@@ -214,6 +271,12 @@ class HandleTable:
             ]
             for rid in stale:
                 del table[rid]
+        stale_versions = [
+            key for key in self._versioned
+            if key[0].file_id == file_id and key[0].page_no == page_no
+        ]
+        for key in stale_versions:
+            del self._versioned[key]
 
     # -- internals -------------------------------------------------------
 

@@ -32,6 +32,15 @@ class ObjectManager:
         self.handles = handles
         self._files: dict[int, StorageFile] = {}
         self._codecs: dict[int, RecordCodec] = {}
+        #: Duck-typed MVCC hook (``objects`` sits below ``txn`` in the
+        #: layer order, so the type is never imported): while a
+        #: snapshot-isolation transaction is the active session, the
+        #: transaction manager installs its
+        #: :class:`~repro.txn.mvcc.SnapshotView` here and every read-path
+        #: ``load``/``borrow`` resolves rids through the version chains.
+        #: ``None`` (the default, and always under 2PL) means reads see
+        #: the live record, byte-for-byte the pre-MVCC behavior.
+        self.read_view = None
 
     # -- registry ---------------------------------------------------------
 
@@ -71,7 +80,11 @@ class ObjectManager:
 
     def load(self, rid: Rid) -> Handle:
         """Get a referenced handle for the object at ``rid`` ("get Handle
-        h" in the paper's Figure 8 pseudo-code)."""
+        h" in the paper's Figure 8 pseudo-code).  Under an installed
+        snapshot view the handle represents the snapshot-visible
+        *version* of the object, which may differ from the live record."""
+        if self.read_view is not None:
+            return self.read_view.load(self, rid)
         return self.handles.get(rid, lambda: self.read_record(rid))
 
     def unref(self, handle: Handle) -> None:

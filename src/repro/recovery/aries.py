@@ -281,5 +281,22 @@ def restart(db, txm, resolve_in_doubt=None) -> RecoveryReport:
     # between crash and restart would otherwise pin stale versions).
     db.handles.clear()
 
+    # MVCC state is volatile by design: every active snapshot died with
+    # its transaction and the committed state needs no pre-images, so
+    # restart *discards* the version chains.  Only the commit-timestamp
+    # high-water survives — rebuilt from durable commit records, so
+    # post-restart snapshots order strictly after every pre-crash commit.
+    txm.mvcc.clear()
+    txm._snapshots.clear()
+    txm.commit_ts = max(
+        [txm.commit_ts]
+        + [r.commit_ts for r in records if r.kind == "commit"]
+    )
+    # Persistent object-version chains (repro.objects.versions) are the
+    # opposite: catalog records on durable pages.  Drop the in-memory
+    # cache so the next access rebuilds it from what actually survived.
+    if db.version_manager is not None:
+        db.version_manager.reload()
+
     report.seconds = clock.elapsed_s - start_s
     return report

@@ -12,7 +12,12 @@ simulated system:
   durably-committed transactions, applied in commit-LSN order;
 * every object created by a loser transaction is gone;
 * recovery is deterministic: re-running the same (seed, crash point)
-  case reproduces the identical recovered state and report.
+  case reproduces the identical recovered state and report;
+* **snapshot consistency** (``mix-run`` cases): a snapshot-isolation
+  reader runs alongside the writers, and every value it reads must
+  equal the committed state of that record *at the reader's begin
+  timestamp* — stable across writer commits, aborts and yields — per
+  an oracle maintained outside the simulated system.
 
 ``mix-run`` cases drive several concurrent workers through the
 cooperative scheduler (lock waits, deadlock retries) — the same
@@ -125,10 +130,12 @@ def run_case(
     txn_creates: dict[int, list[Rid]] = {}
     acked: list[int] = []
 
+    snapshot_failures: list[str] = []
     try:
         if point == "mix-run":
             started = _mix_workload(
-                db, txm, rids, rng, txn_writes, txn_creates, acked
+                db, txm, rids, rng, txn_writes, txn_creates, acked,
+                snapshot_failures,
             )
         else:
             started = _two_slot_workload(
@@ -142,7 +149,7 @@ def run_case(
     commit_order = [r.txn_id for r in txm.log.records if r.kind == "commit"]
     report = restart(db, txm)
 
-    failures: list[str] = []
+    failures: list[str] = list(snapshot_failures)
     durable = set(commit_order)
     for txn_id in acked:
         if txn_id not in durable:
@@ -243,14 +250,26 @@ def _two_slot_workload(
     return started
 
 
-def _mix_workload(db, txm, rids, rng, txn_writes, txn_creates, acked) -> int:
-    """Three concurrent workers over an overlapping hot set, scheduled
-    cooperatively with lock waits and deadlock-abort retries."""
+def _mix_workload(
+    db, txm, rids, rng, txn_writes, txn_creates, acked, snapshot_failures
+) -> int:
+    """Three concurrent writers plus one snapshot-isolation reader over
+    an overlapping hot set, scheduled cooperatively with lock waits and
+    deadlock-abort retries.  The reader verifies snapshot consistency
+    against ``committed_now`` — the committed value of every hot record,
+    maintained at each commit ack (ack order on the single deterministic
+    timeline *is* commit order, so the dict at the reader's ``begin()``
+    is exactly the committed state at its begin timestamp)."""
     from repro.service.scheduler import CooperativeScheduler
 
     scheduler = CooperativeScheduler(db.clock, txm.locks)
     db.system.on_fault = scheduler.yield_point
     hot = rids[: max(6, len(rids) // 3)]
+    # Enable MVCC before any writer begins (the way QueryService does for
+    # isolation="si"), so every write stashes its pre-image and the
+    # reader's snapshots have no blind spot.
+    txm.enable_mvcc()
+    committed_now = {rid: i * 100 for i, rid in enumerate(hot)}
 
     def worker(worker_seed: int, ops: int):
         wrng = Random(worker_seed)
@@ -270,6 +289,7 @@ def _mix_workload(db, txm, rids, rng, txn_writes, txn_creates, acked) -> int:
                             scheduler.yield_point()
                         txn.commit()
                         acked.append(txn.txn_id)
+                        committed_now.update(txn_writes[txn.txn_id])
                         break
                     except LockConflictError:
                         if txn.state == "active":
@@ -277,8 +297,50 @@ def _mix_workload(db, txm, rids, rng, txn_writes, txn_creates, acked) -> int:
 
         return run
 
+    def reader(worker_seed: int, ops: int):
+        wrng = Random(worker_seed)
+
+        def run() -> None:
+            for __ in range(ops):
+                # Captured in the same scheduler slice as begin() (no
+                # yield between), so this IS the committed state at the
+                # snapshot's begin timestamp.
+                expected = dict(committed_now)
+                txn = txm.begin(isolation="si")
+                try:
+                    sample = [
+                        hot[wrng.randrange(len(hot))] for __r in range(3)
+                    ]
+                    seen = {}
+                    for rid in sample:
+                        value = txn.read_attr(rid, "x")
+                        seen[rid] = value
+                        if value != expected[rid]:
+                            snapshot_failures.append(
+                                f"si reader txn {txn.txn_id}: rid "
+                                f"{tuple(rid)} read {value}, committed "
+                                f"state at begin-ts was {expected[rid]}"
+                            )
+                        scheduler.yield_point()
+                    for rid in sample:
+                        again = txn.read_attr(rid, "x")
+                        if again != seen[rid]:
+                            snapshot_failures.append(
+                                f"si reader txn {txn.txn_id}: rid "
+                                f"{tuple(rid)} moved {seen[rid]} -> "
+                                f"{again} inside one snapshot"
+                            )
+                        scheduler.yield_point()
+                    txn.commit()
+                except LockConflictError:
+                    if txn.state == "active":
+                        txn.abort()
+
+        return run
+
     for w in range(3):
         scheduler.spawn(f"w{w}", worker(rng.randrange(2**31), ops=4))
+    scheduler.spawn("si-reader", reader(rng.randrange(2**31), ops=4))
     try:
         tasks = scheduler.run()
     finally:

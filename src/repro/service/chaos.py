@@ -52,6 +52,8 @@ class ChaosResult:
     aborted: int
     retries: int
     io_faults: int
+    isolation: str = "2pl"
+    conflicts: int = 0
     failures: list[str] = field(default_factory=list)
     digest: tuple = ()
 
@@ -75,6 +77,11 @@ def _draw_case(seed: int) -> tuple[MixConfig, TransientFaultInjector]:
         max_active=rng.choice([None, None, max(1, clients - 1), 2]),
         statement_timeout_s=rng.choice([None, None, 2.0]),
         budget_pages=rng.choice([None, None, 2_000]),
+        # A third of the cases run under MVCC snapshot isolation, so the
+        # leak / committed-visible / determinism contract is exercised
+        # with version chains, first-committer-wins aborts and the
+        # governed GC sweep in play.
+        isolation=rng.choice(["2pl", "2pl", "si"]),
     )
     faults = TransientFaultInjector(
         seed=seed,
@@ -122,6 +129,21 @@ def _run_once(seed: int) -> tuple[ChaosResult, "WorkloadMixer"]:
     if gate is not None and gate.queue_depth:
         failures.append(f"{gate.queue_depth} sessions stuck in admission")
 
+    # -- SI reads are lock-free -----------------------------------------
+    # Under snapshot isolation the reader profiles resolve version
+    # chains instead of taking S locks; a single blocked read would
+    # falsify the tentpole claim, so the chaos contract pins it to zero.
+    if config.isolation == "si":
+        for report_session in report.sessions:
+            if report_session.profile == "updater":
+                continue
+            if report_session.metrics.lock_waits:
+                failures.append(
+                    f"session {report_session.name} ({report_session.profile})"
+                    f" blocked on locks {report_session.metrics.lock_waits}x"
+                    " under si (snapshot reads must be lock-free)"
+                )
+
     # -- committed-visible / uncommitted-gone ---------------------------
     acked: dict = {}
     for rid, value in mixer.write_log:
@@ -158,6 +180,8 @@ def _run_once(seed: int) -> tuple[ChaosResult, "WorkloadMixer"]:
             s.metrics.retries,
             s.metrics.deadlocks,
             s.metrics.timeouts,
+            s.metrics.conflicts,
+            s.metrics.lock_waits,
             s.metrics.cancelled,
             s.metrics.over_budget,
             s.metrics.io_failures,
@@ -176,9 +200,11 @@ def _run_once(seed: int) -> tuple[ChaosResult, "WorkloadMixer"]:
         ops_per_client=config.ops_per_client,
         read_fault_rate=faults.read_fault_rate,
         storms=faults.storm_mean_gap_s is not None,
+        isolation=config.isolation,
         committed=report.committed,
         aborted=report.aborted,
         retries=report.retries,
+        conflicts=report.conflicts,
         io_faults=faults.faults_injected,
         failures=failures,
         digest=digest,
@@ -214,14 +240,15 @@ def summarize(results: list[ChaosResult]) -> Table:
     """Render a per-case summary table with an aggregate note."""
     table = Table(
         f"Chaos: {len(results)} seeded fault-injected mix runs",
-        ["Seed", "Clients", "Ops", "FaultRate", "Storms", "Committed",
-         "Aborted", "Retries", "IOFaults", "OK"],
+        ["Seed", "Clients", "Ops", "FaultRate", "Storms", "Iso",
+         "Committed", "Aborted", "Retries", "Conflicts", "IOFaults", "OK"],
     )
     for r in results:
         table.add(
             r.seed, r.clients, r.ops_per_client, r.read_fault_rate,
-            "yes" if r.storms else "no", r.committed, r.aborted,
-            r.retries, r.io_faults, "ok" if r.ok else "FAIL",
+            "yes" if r.storms else "no", r.isolation, r.committed,
+            r.aborted, r.retries, r.conflicts, r.io_faults,
+            "ok" if r.ok else "FAIL",
         )
     bad = [r for r in results if not r.ok]
     committed = sum(r.committed for r in results)
@@ -230,6 +257,6 @@ def summarize(results: list[ChaosResult]) -> Table:
         f"{len(results) - len(bad)}/{len(results)} cases clean; "
         f"{committed} commits under {faults} injected read faults; "
         "invariants: zero leaked locks/handles, committed-visible, "
-        "uncommitted-gone, deterministic re-runs"
+        "uncommitted-gone, lock-free si reads, deterministic re-runs"
     )
     return table

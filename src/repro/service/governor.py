@@ -247,6 +247,31 @@ class ResourceGovernor:
         #: Cancels delivered by interrupting a blocked wait (the rest
         #: are delivered at a checkpoint).
         self.interrupts = 0
+        #: Commits between MVCC vacuum sweeps (the governed background
+        #: GC: every ``vacuum_interval``-th commit sweeps version chains
+        #: up to the oldest active snapshot).
+        self.vacuum_interval = 8
+        self._commits_since_vacuum = 0
+        #: Sweeps run / versions freed by the governed GC.
+        self.vacuums = 0
+        self.versions_swept = 0
+
+    # -- MVCC garbage collection -----------------------------------------
+
+    def note_commit(self, session: "Session") -> None:
+        """Session commit hook: every ``vacuum_interval`` commits, run a
+        version-chain sweep on the transaction manager.  Free for pure
+        2PL runs (no MVCC enabled — the sweep is a no-op and charges
+        nothing), so their cost timeline is untouched."""
+        txm = self.service.txm
+        if not txm.mvcc_enabled:
+            return
+        self._commits_since_vacuum += 1
+        if self._commits_since_vacuum < self.vacuum_interval:
+            return
+        self._commits_since_vacuum = 0
+        self.vacuums += 1
+        self.versions_swept += txm.vacuum()
 
     # -- statements ------------------------------------------------------
 

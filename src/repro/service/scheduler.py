@@ -64,6 +64,8 @@ class Task:
         self.abort_exc: BaseException | None = None
         #: Simulated seconds spent waiting for locks.
         self.lock_wait_s = 0.0
+        #: Times this task blocked on a lock (SI scans must show zero).
+        self.lock_waits = 0
         self.switches = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -200,6 +202,7 @@ class CooperativeScheduler:
             started_s = self.clock.elapsed_s
             me.state = TaskState.BLOCKED
             me.abort_exc = None
+            me.lock_waits += 1
             self._blocked_txns[txn_id] = me
             self._current = None
             self._schedule_next()

@@ -52,6 +52,13 @@ class SessionMetrics:
     aborted: int = 0
     deadlocks: int = 0
     timeouts: int = 0
+    #: First-committer-wins losers (snapshot isolation): aborts caused
+    #: by :class:`~repro.errors.WriteConflictError`, retried like other
+    #: transient lock conflicts.
+    conflicts: int = 0
+    #: Times this session blocked waiting for a lock.  Under SI, reader
+    #: profiles must report zero — the measurable no-read-locks claim.
+    lock_waits: int = 0
     #: Operations re-attempted after a deadlock / lock-timeout abort
     #: (counted separately from aborts so throughput stays honest).
     retries: int = 0
@@ -113,10 +120,14 @@ class Session:
         session_id: int,
         name: str,
         client_cache_pages: int | None = None,
+        isolation: str | None = None,
     ):
         self.service = service
         self.session_id = session_id
         self.name = name
+        #: Isolation level this session's transactions open at (defaults
+        #: to the service-wide setting).
+        self.isolation = isolation or service.isolation
         db = service.db
         self.cache: BufferCache = db.system.new_client_tier(
             client_cache_pages or service.client_cache_pages
@@ -136,17 +147,24 @@ class Session:
 
     # -- transactions -------------------------------------------------------
 
-    def begin(self) -> Transaction:
+    def begin(self, isolation: str | None = None) -> Transaction:
         if self.txn is not None and self.txn.state == "active":
             raise ServiceError(
                 f"session {self.name!r} already has an open transaction"
             )
-        self.txn = self.service.txm.begin(logged=True)
+        self.txn = self.service.txm.begin(
+            logged=True, isolation=isolation or self.isolation
+        )
+        # If this session holds the baton right now, its new snapshot
+        # must govern reads immediately (not only after the next switch).
+        if self.service._active is self:
+            self.service._install_read_view(self)
         return self.txn
 
     def commit(self) -> None:
         self._require_txn().commit()
         self.metrics.committed += 1
+        self.service.governor.note_commit(self)
 
     def abort(self) -> None:
         self._require_txn().abort()
@@ -300,12 +318,23 @@ class QueryService:
         session_budget: QueryBudget | None = None,
         max_active: int | None = None,
         optimizer: str = "heuristic",
+        isolation: str = "2pl",
     ):
         if optimizer not in ("heuristic", "cost"):
             raise ServiceError(
                 f"unknown optimizer {optimizer!r} "
                 "(expected 'heuristic' or 'cost')"
             )
+        if isolation not in ("2pl", "si"):
+            raise ServiceError(
+                f"unknown isolation {isolation!r} (expected '2pl' or 'si')"
+            )
+        if isolation == "si" and not recovery:
+            raise ServiceError(
+                "isolation='si' needs a service built with recovery=True "
+                "(SI aborts roll back physically to the stashed pre-images)"
+            )
+        self.isolation = isolation
         self.derby = derby
         self.db = derby.db
         self.catalog = Catalog.from_derby(derby)
@@ -319,6 +348,10 @@ class QueryService:
         )
         self.recovery = recovery
         self.txm = TransactionManager(self.db, recovery=recovery)
+        if isolation == "si":
+            # Enable MVCC before any client runs, so every logged write
+            # stashes its pre-image and no snapshot has a blind spot.
+            self.txm.enable_mvcc()
         self.txm.locks.timeout_s = lock_timeout_s
         self.scheduler = CooperativeScheduler(
             self.db.clock, self.txm.locks, on_switch=self._on_switch
@@ -351,13 +384,30 @@ class QueryService:
     # -- sessions -----------------------------------------------------------
 
     def open_session(
-        self, name: str | None = None, client_cache_pages: int | None = None
+        self,
+        name: str | None = None,
+        client_cache_pages: int | None = None,
+        isolation: str | None = None,
     ) -> Session:
+        """Open a client connection.  ``isolation`` overrides the
+        service-wide default for this session only (e.g. one ``si``
+        reporting session against an otherwise-2pl service; the service
+        must still have been built with ``recovery=True`` for si)."""
+        if isolation is not None and isolation not in ("2pl", "si"):
+            raise ServiceError(
+                f"unknown isolation {isolation!r} (expected '2pl' or 'si')"
+            )
+        if isolation == "si" and not self.recovery:
+            raise ServiceError(
+                "isolation='si' needs a service built with recovery=True "
+                "(SI aborts roll back physically to the stashed pre-images)"
+            )
         session = Session(
             self,
             len(self.sessions),
             name or f"s{len(self.sessions)}",
             client_cache_pages,
+            isolation=isolation,
         )
         self.sessions.append(session)
         return session
@@ -386,6 +436,7 @@ class QueryService:
         for session in self.sessions:
             if session.task is not None:
                 session.metrics.lock_wait_s = session.task.lock_wait_s
+                session.metrics.lock_waits = session.task.lock_waits
         return tasks
 
     @contextmanager
@@ -500,3 +551,20 @@ class QueryService:
             self.db.system.attach_client_tier(self._base_client_cache)
             self.db.handles = self._base_handles
             self.db.manager.handles = self._base_handles
+        self._install_read_view(session)
+
+    def _install_read_view(self, session: Session | None) -> None:
+        """Point the object manager's read path at the incoming
+        session's snapshot (SI) or back at the live records (2PL /
+        no open transaction) — part of every context switch, so a
+        snapshot can never leak into another session's reads."""
+        om = self.db.manager
+        txn = session.txn if session is not None else None
+        if (
+            txn is not None
+            and txn.state == "active"
+            and txn.snapshot is not None
+        ):
+            om.read_view = txn.view
+        else:
+            om.read_view = None

@@ -35,6 +35,7 @@ from repro.errors import (
     QueryCancelledError,
     ServiceError,
     SimulatedCrashError,
+    WriteConflictError,
 )
 from repro.service.governor import QueryBudget, RetryPolicy
 from repro.service.service import QueryService, Session, SessionMetrics
@@ -79,6 +80,20 @@ class MixConfig:
     max_active: int | None = None
     #: Force physical logging even without a crash/fault injector.
     recovery: bool = False
+    #: Concurrency control every session runs under: ``"2pl"`` (strict
+    #: two-phase locking, readers take S locks) or ``"si"`` (MVCC
+    #: snapshot isolation: readers resolve version chains lock-free,
+    #: writers keep X locks and abort on first-committer-wins
+    #: conflicts).  ``"si"`` forces ``recovery=True`` — aborts must
+    #: physically restore pre-images or snapshots would see them.
+    isolation: str = "2pl"
+    #: What updaters write: ``"age"`` derives the new value from the age
+    #: just read (the classic read-modify-write), ``"keyed"`` derives
+    #: both the hot pair *and* the value from ``(seed, client, op)`` /
+    #: the rid alone — order-independent by construction, so a 2pl and
+    #: an si run of the same config commit the identical end state (the
+    #: cross-isolation digest gate of ``benchmarks/bench_mvcc.py``).
+    update_values: str = "age"
     #: Children a navigator visits per provider.
     navigator_fanout: int = 8
     #: Selectivity (percent) of the scanner's OQL selection.
@@ -172,6 +187,16 @@ class MixReport:
         return sum(s.metrics.timeouts for s in self.sessions)
 
     @property
+    def conflicts(self) -> int:
+        """First-committer-wins aborts (snapshot isolation only)."""
+        return sum(s.metrics.conflicts for s in self.sessions)
+
+    @property
+    def lock_waits(self) -> int:
+        """Times any session blocked on a lock (SI scans contribute 0)."""
+        return sum(s.metrics.lock_waits for s in self.sessions)
+
+    @property
     def retries(self) -> int:
         return sum(s.metrics.retries for s in self.sessions)
 
@@ -209,14 +234,16 @@ class MixReport:
             f"{self.config.updaters} updater(s), "
             f"{self.config.ops_per_client} ops each",
             ["Session", "Profile", "Committed", "Aborted", "Retries",
-             "Deadlocks", "Timeouts", "Cancel", "OverBudget", "Busy (s)",
-             "Wait (s)", "Queue (s)", "Mean lat (s)", "Ops/s"],
+             "Deadlocks", "Timeouts", "Conflicts", "LockWaits", "Cancel",
+             "OverBudget", "Busy (s)", "Wait (s)", "Queue (s)",
+             "Mean lat (s)", "Ops/s"],
         )
         for s in self.sessions:
             m = s.metrics
             table.add(
                 s.name, s.profile, m.committed, m.aborted, m.retries,
-                m.deadlocks, m.timeouts, m.cancelled, m.over_budget,
+                m.deadlocks, m.timeouts, m.conflicts, m.lock_waits,
+                m.cancelled, m.over_budget,
                 m.busy_s, m.lock_wait_s, m.queue_wait_s, m.mean_latency_s,
                 s.throughput_ops_s,
             )
@@ -227,6 +254,11 @@ class MixReport:
             f"{self.throughput_ops_s:.3f} txn/s; "
             f"{self.context_switches} context switches"
         )
+        if self.config.isolation == "si":
+            note += (
+                f"; isolation=si: {self.conflicts} write conflicts, "
+                f"{self.lock_waits} lock waits"
+            )
         if self.max_queue_depth:
             note += f"; admission queue depth peaked at {self.max_queue_depth}"
         table.note(note)
@@ -286,12 +318,14 @@ class WorkloadMixer:
             client_cache_pages=config.client_cache_pages,
             recovery=(
                 config.recovery
+                or config.isolation == "si"
                 or self.injector is not None
                 or self.faults is not None
             ),
             query_budget=query_budget if query_budget.armed else None,
             max_active=config.max_active,
             optimizer=config.optimizer,
+            isolation=config.isolation,
         )
         self.service = service
         if service.plan_optimizer is not None:
@@ -320,7 +354,8 @@ class WorkloadMixer:
                     session.batch_size = config.batch_size
                 rng = Random(config.seed * 10_007 + spawned)
                 service.spawn(
-                    session, self._session_body(session, profile, rng)
+                    session,
+                    self._session_body(session, profile, rng, spawned),
                 )
                 reports.append(SessionReport(session.name, profile,
                                              session.metrics))
@@ -361,7 +396,9 @@ class WorkloadMixer:
 
     # -- session bodies ------------------------------------------------------
 
-    def _session_body(self, session: Session, profile: str, rng: Random):
+    def _session_body(
+        self, session: Session, profile: str, rng: Random, client_index: int
+    ):
         op = {
             "navigator": self._navigator_op,
             "scanner": self._scanner_op,
@@ -381,18 +418,29 @@ class WorkloadMixer:
 
         def body() -> None:
             metrics = session.metrics
-            for __ in range(config.ops_per_client):
+            for op_index in range(config.ops_per_client):
+                # Stable per-op key: a function of (seed, client, op)
+                # only, so retries (which consume the session rng for
+                # backoff jitter) never shift what later ops do.
+                op_seed = (
+                    config.seed * 1_000_003
+                    + client_index * 8_191
+                    + op_index
+                )
                 started_s = clock.elapsed_s
                 attempt = 0
                 while True:
                     try:
                         with session.admitted():
-                            op(session, rng)
+                            op(session, rng, op_seed)
                     except LockConflictError as exc:
-                        # Transient: the victim of a deadlock or a lock
-                        # timeout retries with seeded backoff + jitter.
+                        # Transient: the victim of a deadlock, a lock
+                        # timeout, or a first-committer-wins conflict
+                        # retries with seeded backoff + jitter.
                         abort_open_txn()
-                        if isinstance(exc, DeadlockError):
+                        if isinstance(exc, WriteConflictError):
+                            metrics.conflicts += 1
+                        elif isinstance(exc, DeadlockError):
                             metrics.deadlocks += 1
                         elif isinstance(exc, LockTimeoutError):
                             metrics.timeouts += 1
@@ -425,7 +473,9 @@ class WorkloadMixer:
 
         return body
 
-    def _navigator_op(self, session: Session, rng: Random) -> None:
+    def _navigator_op(
+        self, session: Session, rng: Random, op_seed: int
+    ) -> None:
         derby = self.derby
         provider_rid = derby.provider_rids[
             rng.randrange(len(derby.provider_rids))
@@ -443,7 +493,9 @@ class WorkloadMixer:
                 session.get_attr(rid, "age")
             session.metrics.queries += 1
 
-    def _scanner_op(self, session: Session, rng: Random) -> None:
+    def _scanner_op(
+        self, session: Session, rng: Random, op_seed: int
+    ) -> None:
         derby = self.derby
         hot = min(self.config.hot_set, len(derby.patient_rids))
         threshold = derby.config.num_threshold(self.config.scan_selectivity_pct)
@@ -454,12 +506,21 @@ class WorkloadMixer:
                 f"select p.age from p in Patients where p.num > {threshold}"
             )
 
-    def _updater_op(self, session: Session, rng: Random) -> None:
+    def _updater_op(
+        self, session: Session, rng: Random, op_seed: int
+    ) -> None:
         derby = self.derby
         hot = min(self.config.hot_set, len(derby.patient_rids))
         if hot < 2:
             raise ServiceError("updater needs at least two hot patients")
-        first, second = rng.sample(range(hot), 2)
+        keyed = self.config.update_values == "keyed"
+        if keyed:
+            # Pair and value depend only on (op_seed, rid): retries and
+            # commit order cannot change the committed end state, so a
+            # 2pl and an si run of this config produce the same digest.
+            first, second = Random(op_seed).sample(range(hot), 2)
+        else:
+            first, second = rng.sample(range(hot), 2)
         rid_a = derby.patient_rids[first]
         rid_b = derby.patient_rids[second]
         writes: list[tuple[Rid, int]] = []
@@ -469,7 +530,10 @@ class WorkloadMixer:
             session.write_lock(rid_b)
             for rid in (rid_a, rid_b):
                 age = session.get_attr(rid, "age")
-                value = (int(age) % 90) + 1
+                if keyed:
+                    value = (rid.page_no * 37 + rid.slot * 11) % 90 + 1
+                else:
+                    value = (int(age) % 90) + 1
                 session.update_scalar(rid, "age", value)
                 writes.append((rid, value))
         # Ack order on the single timeline == commit order: the oracle

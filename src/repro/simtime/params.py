@@ -157,6 +157,16 @@ class CostParams:
     #: grows to gain index slots (Section 3.2's expensive re-indexing).
     record_move_us: float = 150.0
 
+    # --- multi-version concurrency (Section 4.4 versioning weight) ---
+    #: Copy a record's pre-image into its version chain on first update
+    #: (one extra record materialization per record per writer txn).
+    version_stash_us: float = 30.0
+    #: Resolve a rid through the version chain to the snapshot-visible
+    #: version (chain walk + record swap into a fresh handle).
+    version_read_us: float = 12.0
+    #: Examine one chain entry during the governed GC sweep.
+    version_gc_us: float = 1.0
+
     memory: MemoryModel = field(default_factory=MemoryModel)
 
     def scaled(self, scale: float) -> "CostParams":

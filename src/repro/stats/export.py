@@ -56,10 +56,12 @@ _MIX_COLUMNS = (
     "aborted",
     "deadlocks",
     "timeouts",
+    "conflicts",
     "queries",
     "updates",
     "busy_s",
     "lock_wait_s",
+    "lock_waits",
     "mean_latency_s",
     "max_latency_s",
     "throughput_ops_s",
@@ -90,10 +92,12 @@ def mix_to_csv(report) -> str:
             m.aborted,
             m.deadlocks,
             m.timeouts,
+            m.conflicts,
             m.queries,
             m.updates,
             m.busy_s,
             m.lock_wait_s,
+            m.lock_waits,
             m.mean_latency_s,
             m.max_latency_s,
             sr.throughput_ops_s,

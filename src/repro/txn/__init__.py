@@ -13,11 +13,18 @@ With ``TransactionManager(db, recovery=True)`` the WAL carries physical
 page images and :mod:`repro.recovery` can crash and restart the system,
 which is what makes the transaction-off trade-off demonstrable rather
 than merely priced.
+
+``begin(isolation="si")`` opens a *snapshot-isolation* transaction on
+top of the same machinery: reads resolve through per-record version
+chains (:mod:`repro.txn.mvcc`) with zero read locks, writers keep
+strict-2PL X-locks, and first-committer-wins conflicts raise
+:class:`~repro.errors.WriteConflictError` (see ``docs/mvcc.md``).
 """
 
 from repro.txn.locks import LockManager, LockMode
 from repro.txn.log import LogRecord, WriteAheadLog
-from repro.txn.manager import Transaction, TransactionManager
+from repro.txn.manager import ISOLATION_LEVELS, Transaction, TransactionManager
+from repro.txn.mvcc import RecordVersion, Snapshot, SnapshotView, VersionStore
 
 __all__ = [
     "WriteAheadLog",
@@ -26,4 +33,9 @@ __all__ = [
     "LockMode",
     "Transaction",
     "TransactionManager",
+    "ISOLATION_LEVELS",
+    "Snapshot",
+    "SnapshotView",
+    "RecordVersion",
+    "VersionStore",
 ]

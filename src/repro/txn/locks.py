@@ -75,6 +75,11 @@ class LockManager:
     :class:`~repro.errors.DeadlockError` /
     :class:`~repro.errors.LockTimeoutError`); ``wake`` is called with a
     ``txn_id`` whose queued request has just been granted.
+
+    Snapshot-isolation readers never enter this table at all —
+    ``Transaction.read_lock`` is a no-op under ``isolation="si"``, so
+    scans cannot contribute to ``waits`` (the measurable zero-lock-wait
+    claim); only X-locks (writers, both isolation levels) do.
     """
 
     def __init__(
@@ -97,6 +102,9 @@ class LockManager:
         self._locks: dict[Rid, _LockState] = {}
         self._wait: Callable[[int, Rid], None] | None = None
         self._wake: Callable[[int], None] | None = None
+        #: Requests that could not be granted immediately (queued waits
+        #: in scheduler mode, fail-fast conflicts otherwise).
+        self.waits = 0
 
     # -- scheduler wiring ---------------------------------------------------
 
@@ -129,6 +137,7 @@ class LockManager:
                 mode if held is None else self._stronger(held, mode)
             )
             return
+        self.waits += 1
         if self._wait is None:
             raise LockConflictError(
                 f"txn {txn_id} requests {mode.value} on {rid} held "

@@ -80,6 +80,10 @@ class LogRecord:
     att: tuple[tuple[int, int], ...] = field(default=())
     #: For ``checkpoint`` records: ``(((file_id, page_no), rec_lsn), ...)``.
     dpt: tuple[tuple[tuple[int, int], int], ...] = field(default=())
+    #: For ``commit`` records: the monotonic commit timestamp assigned by
+    #: the transaction manager (0 = pre-MVCC record / non-commit kind).
+    #: Restart reads these to restore the commit-timestamp high-water.
+    commit_ts: int = 0
 
 
 def image_delta_bytes(before: PageImage, after: PageImage) -> int:
@@ -144,6 +148,7 @@ class WriteAheadLog:
         undoes_lsn: int = 0,
         att: tuple[tuple[int, int], ...] = (),
         dpt: tuple[tuple[tuple[int, int], int], ...] = (),
+        commit_ts: int = 0,
     ) -> LogRecord:
         """Log one operation (CPU charge; bytes await the next flush)."""
         if nbytes < 0:
@@ -160,6 +165,7 @@ class WriteAheadLog:
             undoes_lsn=undoes_lsn,
             att=att,
             dpt=dpt,
+            commit_ts=commit_ts,
         )
         self.next_lsn += 1
         self.records.append(record)

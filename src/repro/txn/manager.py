@@ -22,7 +22,11 @@ loading trade-off.
 
 from __future__ import annotations
 
-from repro.errors import TransactionMemoryError, TransactionStateError
+from repro.errors import (
+    TransactionMemoryError,
+    TransactionStateError,
+    WriteConflictError,
+)
 from repro.objects.database import Database
 from repro.simtime import Bucket
 from repro.storage.page import EMPTY_PAGE_IMAGE
@@ -36,31 +40,59 @@ from repro.txn.log import (
     WriteAheadLog,
     image_delta_bytes,
 )
+from repro.txn.mvcc import Snapshot, SnapshotView, VersionStore
 
 #: Objects one transaction may create before the simulated client memory
 #: is exhausted (the batch size the paper settled on).
 DEFAULT_OBJECT_BUDGET = 10_000
+
+#: The isolation levels ``begin`` accepts.
+ISOLATION_LEVELS = ("2pl", "si")
 
 
 class Transaction:
     """One open transaction.  Usable as a context manager (commits on
     clean exit, aborts on exception)."""
 
-    def __init__(self, manager: "TransactionManager", txn_id: int, logged: bool):
+    def __init__(
+        self,
+        manager: "TransactionManager",
+        txn_id: int,
+        logged: bool,
+        isolation: str = "2pl",
+    ):
         self.manager = manager
         self.txn_id = txn_id
         self.logged = logged
+        self.isolation = isolation
         self.objects_created = 0
         self.state = "active"
         #: LSN of this transaction's most recent log record (undo chain).
         self.last_lsn = 0
         #: Whether the commit record is known durable (ack returned).
         self.durable = False
+        #: Commit timestamp (assigned at commit; 0 while active / 2PL-only
+        #: runs where MVCC was never enabled).
+        self.commit_ts = 0
+        #: Snapshot taken at begin for ``isolation="si"`` (else ``None``).
+        self.snapshot: Snapshot | None = None
+        self._view: SnapshotView | None = None
+        self._write_set: set[Rid] = set()
         self._created: list[Rid] = []
 
     @property
     def _physical(self) -> bool:
         return self.logged and self.manager.recovery
+
+    @property
+    def view(self) -> SnapshotView | None:
+        """This transaction's snapshot view (SI only), created lazily and
+        shared across installs so ``version_reads`` accumulates."""
+        if self.snapshot is None:
+            return None
+        if self._view is None:
+            self._view = SnapshotView(self.manager.mvcc, self.snapshot)
+        return self._view
 
     # -- operations --------------------------------------------------------
 
@@ -94,6 +126,7 @@ class Transaction:
             self._created.append(rid)
             self.objects_created += 1
             self.manager.locks.acquire(self.txn_id, rid, LockMode.EXCLUSIVE)
+            self._si_note_create(rid)
             return rid
         rid = self.manager.db.create_object(
             class_name, values, file_name, indexed, index_ids
@@ -103,6 +136,7 @@ class Transaction:
             record_len = 64  # header + redo info approximation
             self.manager.log.append(self.txn_id, "create", record_len)
             self.manager.locks.acquire(self.txn_id, rid, LockMode.EXCLUSIVE)
+            self._si_note_create(rid)
         return rid
 
     def update_scalar(self, rid: Rid, attr_name: str, value: object) -> Rid:
@@ -113,10 +147,12 @@ class Transaction:
         self._require_active()
         if not self._physical:
             self.write_lock(rid)
+            self._si_prepare_write(rid)
             new_rid = self.manager.db.manager.update_scalar(rid, attr_name, value)
             self.log_update(8)
             return new_rid
         self.manager.locks.acquire(self.txn_id, rid, LockMode.EXCLUSIVE)
+        self._si_prepare_write(rid)
         db = self.manager.db
         return self._physical_op(
             "update",
@@ -131,10 +167,12 @@ class Transaction:
         self._require_active()
         if not self._physical:
             self.write_lock(rid)
+            self._si_prepare_write(rid)
             new_rid = self.manager.db.manager.update_set(rid, attr_name, value)
             self.log_update(16)
             return new_rid
         self.manager.locks.acquire(self.txn_id, rid, LockMode.EXCLUSIVE)
+        self._si_prepare_write(rid)
         db = self.manager.db
         return self._physical_op(
             "update",
@@ -143,9 +181,28 @@ class Transaction:
         )
 
     def read_lock(self, rid: Rid) -> None:
+        """Shared-lock ``rid`` — a no-op under snapshot isolation, where
+        reads resolve through the version chains instead of the lock
+        table (zero read locks, zero lock waits for scans)."""
         self._require_active()
-        if self.logged:
+        if self.logged and self.isolation != "si":
             self.manager.locks.acquire(self.txn_id, rid, LockMode.SHARED)
+
+    def read_attr(self, rid: Rid, name: str) -> object:
+        """Read one attribute at this transaction's isolation level:
+        under SI through the snapshot view (no locks), under 2PL via a
+        shared lock and the live record."""
+        self._require_active()
+        om = self.manager.db.manager
+        if self.isolation == "si":
+            saved = om.read_view
+            om.read_view = self.view
+            try:
+                return om.get_attr_at(rid, name)
+            finally:
+                om.read_view = saved
+        self.read_lock(rid)
+        return om.get_attr_at(rid, name)
 
     def write_lock(self, rid: Rid) -> None:
         self._require_active()
@@ -156,6 +213,43 @@ class Transaction:
         self._require_active()
         if self.logged:
             self.manager.log.append(self.txn_id, "update", nbytes)
+
+    # -- MVCC write-side hooks ----------------------------------------------
+
+    def _si_prepare_write(self, rid: Rid) -> None:
+        """Runs under the freshly-acquired X-lock, before the in-place
+        write: first-committer-wins check, then stash the committed
+        pre-image into the version chain (once per rid per txn).
+
+        Stashing happens for *every* logged write once MVCC is enabled —
+        not just writes by SI transactions — because a concurrent
+        snapshot must be able to see the pre-image of a 2PL writer's
+        update too."""
+        manager = self.manager
+        if not manager.mvcc_enabled or not self.logged:
+            return
+        if rid in self._write_set:
+            return
+        store = manager.mvcc
+        if (
+            self.snapshot is not None
+            and store.committed_ts(rid) > self.snapshot.begin_ts
+        ):
+            manager.conflicts += 1
+            raise WriteConflictError(
+                f"txn {self.txn_id} (begin_ts={self.snapshot.begin_ts}) "
+                f"lost first-committer-wins on {rid}: a version committed "
+                f"at ts={store.committed_ts(rid)} postdates its snapshot"
+            )
+        record, __ = manager.db.manager.file_for(rid).read_resolving(rid)
+        store.stash(rid, record, self.txn_id)
+        self._write_set.add(rid)
+
+    def _si_note_create(self, rid: Rid) -> None:
+        if not self.manager.mvcc_enabled or not self.logged:
+            return
+        self.manager.mvcc.note_create(rid, self.txn_id)
+        self._write_set.add(rid)
 
     # -- physical logging (recovery mode) -----------------------------------
 
@@ -272,14 +366,26 @@ class Transaction:
     def commit(self) -> None:
         self._require_active()
         if self.logged:
+            # The commit timestamp is drawn *before* the record is
+            # appended so it rides in the durable record (restart
+            # restores the high-water from it), but the manager's
+            # high-water only advances after the flush succeeds — the
+            # same moment the versions become visible, so commit order
+            # and visibility order are one total order.
+            ts = self.manager.commit_ts + 1 if self.manager.mvcc_enabled else 0
             self.manager.log.append(
                 self.txn_id,
                 "commit",
                 COMMIT_RECORD_BYTES,
                 prev_lsn=self.last_lsn,
+                commit_ts=ts,
             )
             self.manager.log.flush()
             self.durable = True
+            if self.manager.mvcc_enabled:
+                self.manager.commit_ts = ts
+                self.commit_ts = ts
+                self.manager.mvcc.commit(self.txn_id, ts)
             # Strict 2PL: locks may only drop once the commit record is
             # durable, so this must NOT move into a finally around
             # flush() — if the flush fails the locks have to stay held
@@ -310,6 +416,11 @@ class Transaction:
                 # a dead transaction holding locks deadlocks every later
                 # client that touches the same pages.
                 self.manager.locks.release_all(self.txn_id)
+                # Withdraw pending chain entries likewise: the rollback
+                # restored the live record to exactly the stashed image,
+                # so keeping them would duplicate the live state.
+                if self.manager.mvcc_enabled:
+                    self.manager.mvcc.abort(self.txn_id)
         self.state = "aborted"
         self.manager._on_finished(self)
 
@@ -358,20 +469,90 @@ class TransactionManager:
         self._active: dict[int, Transaction] = {}
         self.committed = 0
         self.aborted = 0
+        #: Monotonic commit-timestamp high-water (restored from durable
+        #: commit records at restart).  Only advances once MVCC is on.
+        self.commit_ts = 0
+        #: Per-record version chains + commit-ts bookkeeping (volatile).
+        self.mvcc = VersionStore(db.clock, db.params)
+        #: Flips permanently at the first ``begin(isolation="si")`` (or
+        #: :meth:`enable_mvcc`); until then no write stashes pre-images,
+        #: so pure-2PL runs stay byte-for-byte cost-identical to the
+        #: pre-MVCC system.
+        self.mvcc_enabled = False
+        #: First-committer-wins losers (``WriteConflictError`` raised).
+        self.conflicts = 0
+        self._snapshots: dict[int, Snapshot] = {}
         if recovery:
             db.disk.wal = self.log
 
-    def begin(self, logged: bool = True) -> Transaction:
+    def begin(self, logged: bool = True, isolation: str = "2pl") -> Transaction:
         """Open a transaction.  ``logged=False`` is the transaction-off
         loading mode: no log, no locks, no commit flush — but the object
-        budget still applies (it models client memory, not the log)."""
-        txn = Transaction(self, self._next_txn_id, logged)
+        budget still applies (it models client memory, not the log).
+
+        ``isolation="si"`` opens a snapshot-isolation transaction: it
+        captures a :class:`~repro.txn.mvcc.Snapshot` now, reads through
+        the version chains with zero read locks, keeps 2PL X-locks for
+        writes, and loses first-committer-wins races with
+        :class:`~repro.errors.WriteConflictError`.  SI requires recovery
+        mode — the stashed pre-images double as the images aborts roll
+        back to, which only physical logging guarantees."""
+        if isolation not in ISOLATION_LEVELS:
+            raise ValueError(
+                f"unknown isolation level {isolation!r}; "
+                f"pick one of {ISOLATION_LEVELS}"
+            )
+        if isolation == "si":
+            if not logged:
+                raise TransactionStateError(
+                    "snapshot isolation requires a logged transaction"
+                )
+            if not self.recovery:
+                raise TransactionStateError(
+                    "snapshot isolation requires recovery mode (aborts "
+                    "must physically restore the stashed pre-images)"
+                )
+            self.enable_mvcc()
+        txn = Transaction(self, self._next_txn_id, logged, isolation=isolation)
         self._next_txn_id += 1
+        if isolation == "si":
+            txn.snapshot = Snapshot(
+                txn.txn_id, self.commit_ts, frozenset(self._active)
+            )
+            self._snapshots[txn.txn_id] = txn.snapshot
         self._active[txn.txn_id] = txn
         if logged and self.recovery:
             record = self.log.append(txn.txn_id, "begin", BEGIN_RECORD_BYTES)
             txn.last_lsn = record.lsn
         return txn
+
+    def enable_mvcc(self) -> None:
+        """Start stashing pre-images for every logged write.  Writes
+        already in flight before this point are not versioned; a service
+        configured with ``isolation="si"`` enables MVCC before any
+        client runs, so its snapshots are complete."""
+        self.mvcc_enabled = True
+
+    # -- MVCC garbage collection ---------------------------------------
+
+    @property
+    def oldest_snapshot_ts(self) -> int | None:
+        """Begin timestamp of the oldest active snapshot (the GC
+        horizon), or ``None`` when no SI transaction is active."""
+        if not self._snapshots:
+            return None
+        return min(s.begin_ts for s in self._snapshots.values())
+
+    def vacuum(self) -> int:
+        """Sweep version chains: drop every version older than the
+        oldest active snapshot.  Returns versions freed.  Driven by the
+        service's resource governor every few commits."""
+        if not self.mvcc_enabled:
+            return 0
+        horizon = self.oldest_snapshot_ts
+        if horizon is None:
+            horizon = self.commit_ts
+        return self.mvcc.sweep(horizon)
 
     @property
     def active_count(self) -> int:
@@ -383,15 +564,23 @@ class TransactionManager:
 
     def crash_volatile(self) -> None:
         """A crash wiped the process: every open transaction simply
-        ceases to exist (restart will undo the losers from the log) and
-        all lock state evaporates."""
+        ceases to exist (restart will undo the losers from the log), all
+        lock state evaporates, and so do the version chains — restart
+        rebuilds nothing (the committed state needs no history) and
+        restores only the commit-ts high-water from durable commits."""
         for txn in self._active.values():
             txn.state = "crashed"
         self._active.clear()
         self.locks.clear()
+        self._snapshots.clear()
+        self.mvcc.clear()
 
     def _on_finished(self, txn: Transaction) -> None:
         self._active.pop(txn.txn_id, None)
+        self._snapshots.pop(txn.txn_id, None)
+        om = self.db.manager
+        if txn._view is not None and om.read_view is txn._view:
+            om.read_view = None
         if txn.state == "committed":
             self.committed += 1
         else:

@@ -1,0 +1,15 @@
+"""PROTO fixtures: snapshot-isolation transactions leaking snapshots."""
+
+
+def si_leak_on_branch(txm, flag):
+    txn = txm.begin(isolation="si")        # line 5: open else path pins the GC horizon -> PROTO
+    if flag:
+        txn.commit()
+
+
+def si_reader_never_completes(txm, rids):
+    txn = txm.begin(isolation="si")        # line 11: read-only, never commits -> PROTO
+    out = []
+    for rid in rids:
+        out.append(txn.read_attr(rid, "x"))
+    return out

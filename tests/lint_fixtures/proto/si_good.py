@@ -1,0 +1,22 @@
+"""PROTO fixtures: well-bracketed snapshot-isolation transactions."""
+
+
+def si_try_completes(txm, db):
+    txn = txm.begin(isolation="si")
+    try:
+        db.poke()
+        txn.commit()
+    except RuntimeError:
+        txn.abort()
+
+
+def si_state_tested_retry(txm, db):
+    for _attempt in range(3):
+        txn = txm.begin(isolation="si")
+        try:
+            db.poke()
+            txn.commit()
+            return
+        except RuntimeError:
+            if txn.state == "active":
+                txn.abort()

@@ -107,6 +107,19 @@ def test_proto_txn_good_is_clean():
     assert lint_fixture("proto/txn_good.py", ("PROTO",)) == []
 
 
+def test_proto_flags_si_snapshot_leaks():
+    findings = lint_fixture("proto/si_bad.py", ("PROTO",))
+    assert {f.rule for f in findings} == {"PROTO"}
+    assert [f.line for f in findings] == [5, 11]
+    for f in findings:
+        assert f.message.startswith('begin(isolation="si")')
+        assert "pins the MVCC GC horizon" in f.message
+
+
+def test_proto_si_good_is_clean():
+    assert lint_fixture("proto/si_good.py", ("PROTO",)) == []
+
+
 def test_proto_flags_wal_force_rule():
     findings = lint_fixture("proto/wal_bad.py", ("PROTO",))
     assert [f.line for f in findings] == [5, 11]
