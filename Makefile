@@ -1,4 +1,4 @@
-.PHONY: install test lint lint-graph bench figures mix pipeline recover chaos shell analyze optimizer shard mvcc artifacts clean
+.PHONY: install test lint lint-graph bench figures mix pipeline recover chaos shell analyze optimizer shard failover mvcc artifacts clean
 
 PYTHON ?= python
 # Run the package from the source tree; `make install` is optional.
@@ -73,6 +73,14 @@ optimizer:
 shard:
 	$(PYTHON) benchmarks/bench_sharding.py
 	$(PYTHON) -m repro shard chaos --cases 25
+
+# Replication availability benchmark (13-query semantic equivalence vs
+# an unreplicated cluster, windowed throughput through a primary kill,
+# 200 sync + 50 async seeded chaos kills) plus the failover chaos CLI
+# -> BENCH_replication.json + results/replication_availability.txt.
+failover:
+	$(PYTHON) benchmarks/bench_replication.py
+	$(PYTHON) -m repro failover chaos --cases 25
 
 # Snapshot isolation vs strict 2PL on the same contended mix, gated on
 # zero reader lock waits, SI throughput > 2PL and identical committed

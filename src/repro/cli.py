@@ -26,9 +26,17 @@ Commands
 ``shard``
     Horizontal-sharding tooling: ``shard demo`` partitions a database
     across N simulated nodes, runs a distributed query through the
-    coordinator and a sharded workload mix; ``shard chaos`` runs the
-    seeded two-phase-commit crash/recovery checker and exits nonzero
-    on any atomic-commitment violation.
+    coordinator and a sharded workload mix (``--replicas 1`` pairs
+    every shard with a warm standby); ``shard chaos`` runs the seeded
+    two-phase-commit crash/recovery checker and exits nonzero on any
+    atomic-commitment violation.
+``failover``
+    Per-shard replication tooling: ``failover demo`` kills a primary
+    under load and narrates detection, fenced promotion and the
+    availability window; ``failover chaos`` runs the seeded
+    primary-kill checker (zero acked loss in sync mode, fenced
+    promotion, clean retry accounting) and exits nonzero on any
+    violation.
 ``analyze``
     Collect optimizer statistics (extent cardinalities, equi-depth
     histograms, association fan-out) over a freshly built database,
@@ -508,7 +516,13 @@ def cmd_shard_demo(args: argparse.Namespace) -> int:
     from repro.dist import Coordinator, ShardedMixConfig, ShardedWorkload, load_sharded
 
     config = _make_config(args)
-    cluster = load_sharded(config, args.shards, scheme=args.scheme)
+    cluster = load_sharded(
+        config,
+        args.shards,
+        scheme=args.scheme,
+        replicas=args.replicas,
+        ship_mode=args.ship_mode,
+    )
     coordinator = Coordinator(cluster)
     cluster.start_cold()
     threshold = config.num_threshold(args.selectivity)
@@ -544,6 +558,20 @@ def cmd_shard_demo(args: argparse.Namespace) -> int:
     )
     report = ShardedWorkload(cluster, mix).run()
     print(report.table())
+    if cluster.links:
+        ship = Table(
+            f"WAL shipping ({args.ship_mode})",
+            ["Shard", "Ship msgs", "Records", "Bytes", "Lag",
+             "Ack wait (s)"],
+        )
+        for sid in sorted(cluster.links):
+            link = cluster.links[sid]
+            ship.add(
+                sid, link.ship_msgs, link.shipped_records,
+                link.shipped_bytes, link.lag_records(), link.ack_wait_s,
+            )
+        print()
+        print(ship)
     return 0
 
 
@@ -557,6 +585,69 @@ def cmd_shard_chaos(args: argparse.Namespace) -> int:
         check_determinism=not args.no_determinism,
     )
     print(summarize_2pc(results))
+    for r in results:
+        for failure in r.failures:
+            print(f"seed {r.seed}: {failure}", file=sys.stderr)
+    return 0 if all(r.ok for r in results) else 1
+
+
+# ------------------------------------------------------------------ failover
+
+def cmd_failover_demo(args: argparse.Namespace) -> int:
+    """Kill a primary under load and narrate the failover."""
+    from repro.dist import ShardedMixConfig, ShardedWorkload, load_sharded
+
+    config = _make_config(args)
+    cluster = load_sharded(
+        config,
+        args.shards,
+        scheme=args.scheme,
+        replicas=1,
+        ship_mode=args.ship_mode,
+    )
+    cluster.start_cold()
+    detector = cluster.detector
+    assert detector is not None
+    victim = args.victim % args.shards
+    cluster.schedule_kill(victim, at_s=args.kill_at)
+    print(
+        f"{cluster!r}: killing shard {victim}'s primary at "
+        f"t={args.kill_at:.3f}s (lease {detector.lease_s:.3f}s + grace "
+        f"{detector.grace_s:.3f}s, {args.ship_mode} shipping)"
+    )
+    mix = ShardedMixConfig.from_clients(
+        args.clients, ops_per_client=args.ops, seed=args.seed
+    )
+    report = ShardedWorkload(cluster, mix).run()
+    print(report.table())
+    print()
+    print(f"kills {cluster.kills}, failovers {cluster.route.failovers}, "
+          f"epochs {cluster.route.epochs}")
+    print(f"shard {victim} unavailable "
+          f"{cluster.shard_unavailable_s(victim):.4f} simulated s, "
+          f"acked-loss window {cluster.loss_windows.get(victim, 0)} "
+          "records")
+    serving = cluster.route.node_for(victim)
+    if serving.down:
+        print(f"shard {victim} is still down (no promotable standby)",
+              file=sys.stderr)
+        return 1
+    print(f"shard {victim} serving again from the promoted standby "
+          f"(epoch {serving.epoch})")
+    return 0
+
+
+def cmd_failover_chaos(args: argparse.Namespace) -> int:
+    """Run the seeded primary-kill failover chaos checker."""
+    from repro.dist import run_failover_chaos, summarize_failover
+
+    results = run_failover_chaos(
+        args.cases,
+        base_seed=args.seed,
+        ship_mode=args.ship_mode,
+        check_determinism=not args.no_determinism,
+    )
+    print(summarize_failover(results))
     for r in results:
         for failure in r.failures:
             print(f"seed {r.seed}: {failure}", file=sys.stderr)
@@ -832,6 +923,11 @@ def build_parser() -> argparse.ArgumentParser:
     shard_demo.add_argument("--ops", type=int, default=4,
                             help="operations per client")
     shard_demo.add_argument("--seed", type=int, default=1)
+    shard_demo.add_argument("--replicas", type=int, default=0,
+                            help="warm standbys per shard (0 or 1)")
+    shard_demo.add_argument("--ship-mode", choices=("sync", "async"),
+                            default="sync",
+                            help="WAL shipping mode when replicated")
     shard_demo.set_defaults(func=cmd_shard_demo)
 
     shard_chaos = shard_sub.add_parser(
@@ -845,6 +941,49 @@ def build_parser() -> argparse.ArgumentParser:
     shard_chaos.add_argument("--no-determinism", action="store_true",
                              help="skip the double-run determinism check")
     shard_chaos.set_defaults(func=cmd_shard_chaos)
+
+    failover = sub.add_parser(
+        "failover",
+        help="per-shard replication tooling: failover demo and chaos",
+    )
+    failover_sub = failover.add_subparsers(dest="action", required=True)
+
+    failover_demo = failover_sub.add_parser(
+        "demo",
+        help="kill a primary under load, watch detection + promotion",
+    )
+    _add_db_options(failover_demo)
+    failover_demo.add_argument("--shards", type=int, default=2,
+                               help="number of shard nodes")
+    failover_demo.add_argument("--scheme", choices=("hash", "range"),
+                               default="hash", help="partitioning scheme")
+    failover_demo.add_argument("--ship-mode", choices=("sync", "async"),
+                               default="sync", help="WAL shipping mode")
+    failover_demo.add_argument("--victim", type=int, default=0,
+                               help="shard whose primary dies")
+    failover_demo.add_argument("--kill-at", type=float, default=0.05,
+                               help="kill time on the simulated clock (s)")
+    failover_demo.add_argument("--clients", type=int, default=4,
+                               help="clients in the sharded mix")
+    failover_demo.add_argument("--ops", type=int, default=4,
+                               help="operations per client")
+    failover_demo.add_argument("--seed", type=int, default=1)
+    failover_demo.set_defaults(func=cmd_failover_demo)
+
+    failover_chaos = failover_sub.add_parser(
+        "chaos",
+        help="seeded primary-kill checker: zero acked loss (sync), "
+        "fenced promotion, clean retries",
+    )
+    failover_chaos.add_argument("--cases", type=int, default=25,
+                                help="seeded kill-injected cases to run")
+    failover_chaos.add_argument("--seed", type=int, default=0,
+                                help="base seed (case i uses seed base+i)")
+    failover_chaos.add_argument("--ship-mode", choices=("sync", "async"),
+                                default="sync", help="WAL shipping mode")
+    failover_chaos.add_argument("--no-determinism", action="store_true",
+                                help="skip the double-run determinism check")
+    failover_chaos.set_defaults(func=cmd_failover_chaos)
 
     layout = sub.add_parser(
         "layout", help="print the Figure 2 view of a database's files"

@@ -28,23 +28,37 @@ transactions on its own timeline:
 """
 
 from repro.dist.chaos import (
+    FAILOVER_KILL_KINDS,
+    FailoverChaosResult,
     TwoPCChaosResult,
+    failover_coverage,
     point_coverage,
     run_2pc_case,
     run_2pc_chaos,
+    run_failover_case,
+    run_failover_chaos,
     summarize_2pc,
+    summarize_failover,
 )
 from repro.dist.cluster import ShardedCluster, load_sharded
 from repro.dist.coordinator import SHIP_STRATEGIES, Coordinator, DistPlan
 from repro.dist.deadlock import GlobalLockTable
 from repro.dist.exchange import ExchangeOperator, coordinator_context
+from repro.dist.failure import HEALTH_STATES, FailureDetector, NodeHealth
 from repro.dist.node import ShardNode
 from repro.dist.partition import (
     PARTITION_SCHEMES,
     PartitionMap,
+    RouteTable,
     hash_shard,
     range_shard,
     split_logical,
+)
+from repro.dist.replication import (
+    REPLICATION_KILL_POINTS,
+    SHIP_MODES,
+    ReplicaLink,
+    ReplicationInjector,
 )
 from repro.dist.twopc import (
     TWOPC_CRASH_POINTS,
@@ -87,4 +101,18 @@ __all__ = [
     "run_2pc_case",
     "run_2pc_chaos",
     "summarize_2pc",
+    "RouteTable",
+    "HEALTH_STATES",
+    "FailureDetector",
+    "NodeHealth",
+    "SHIP_MODES",
+    "REPLICATION_KILL_POINTS",
+    "ReplicaLink",
+    "ReplicationInjector",
+    "FAILOVER_KILL_KINDS",
+    "FailoverChaosResult",
+    "failover_coverage",
+    "run_failover_case",
+    "run_failover_chaos",
+    "summarize_failover",
 ]

@@ -35,8 +35,13 @@ from random import Random
 from repro.bench.report import Table
 from repro.derby import DerbyConfig
 from repro.dist.cluster import ShardedCluster, load_sharded
+from repro.dist.replication import (
+    REPLICATION_KILL_POINTS,
+    ReplicationInjector,
+)
 from repro.dist.twopc import TWOPC_CRASH_POINTS, TwoPCInjector
 from repro.dist.workload import ShardedMixConfig, ShardedWorkload
+from repro.simtime import Bucket
 
 #: Scale of the per-case database: ~30 patients, loads in milliseconds.
 _SCALE = 0.00001
@@ -255,6 +260,372 @@ def point_coverage(results: list[TwoPCChaosResult]) -> dict[str, int]:
         if r.crashed:
             coverage[r.point] += 1
     return coverage
+
+
+# -- failover chaos ------------------------------------------------------
+#
+# The replication analogue of the 2PC checker above: instead of killing
+# the *cluster* mid-protocol, each case kills one shard's *primary* —
+# at a drawn simulated time, at a drawn WAL-ship protocol point, or as
+# a double failure (primary killed, then the replica killed mid
+# promotion) — lets the failure detector and fenced failover run, and
+# verifies the replicated atomic-commitment contract:
+#
+# * sync mode: *zero acknowledged loss* — the post-failover durable
+#   state matches exactly the last-writer oracle over every acked write
+#   plus every decided- or replica-committed-but-unacked write;
+# * async mode: losses are confined to shards whose link reported a
+#   non-zero loss window (bounded by ``max_lag_records``), and every
+#   durable value was legally written (no dirty write ever survives);
+# * zero leaks, and digest-identical re-runs.
+
+#: How each failover chaos case kills the primary.
+FAILOVER_KILL_KINDS = ("timed", "ship", "double")
+
+
+@dataclass
+class FailoverChaosResult:
+    """Outcome of one seeded primary-kill chaos case."""
+
+    seed: int
+    ship_mode: str
+    n_shards: int
+    scheme: str
+    kind: str
+    #: The replication kill point ("timed" kills have none).
+    point: str
+    victim: int
+    killed: bool
+    failed_over: bool
+    committed: int
+    aborted: int
+    unavailable: int
+    loss_window: int
+    unavailable_s: float
+    failures: list[str] = field(default_factory=list)
+    digest: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _draw_failover_case(
+    seed: int, ship_mode: str
+) -> tuple[int, str, ShardedMixConfig, str, str, int, int, float, int]:
+    """Case generator: cluster shape, mix, kill recipe from one seed."""
+    rng = Random(seed * 15_485_863 + 29)
+    n_shards = rng.choice([2, 3])
+    scheme = rng.choice(["hash", "range"])
+    config = ShardedMixConfig.from_clients(
+        rng.randint(2, 4),
+        ops_per_client=rng.randint(3, 5),
+        seed=seed,
+        max_retries=rng.randint(1, 3),
+        retry_backoff_s=rng.choice([0.005, 0.02]),
+        hot_set=rng.choice([6, 10]),
+    )
+    kind = rng.choice(FAILOVER_KILL_KINDS)
+    if kind == "ship":
+        point = rng.choice(REPLICATION_KILL_POINTS[:3])
+    elif kind == "double":
+        point = rng.choice(REPLICATION_KILL_POINTS[3:])
+    else:
+        point = "timed"
+    victim = rng.randrange(n_shards)
+    kill_at_s = rng.uniform(0.01, 0.25)
+    occurrence = rng.randint(1, 3)
+    max_lag = rng.choice([4, 16]) if ship_mode == "async" else 64
+    return (
+        n_shards, scheme, config, kind, point, victim, occurrence,
+        kill_at_s, max_lag,
+    )
+
+
+def _settle_failover(cluster: ShardedCluster) -> None:
+    """Idle the coordinator forward until every killed shard has either
+    failed over or proven unpromotable: charge heartbeat-interval waits
+    and tick, so leases expire on the same deterministic timeline the
+    run used."""
+    if cluster.detector is None:
+        return
+    step_s = cluster.detector.heartbeat_interval_s
+    for __ in range(64):
+        cluster.tick()
+        down = [
+            sid
+            for sid in range(cluster.n_shards)
+            if cluster.route.node_for(sid).down
+            and cluster.standbys.get(sid) is not None
+            and not cluster.standbys[sid].down
+        ]
+        if not down:
+            return
+        cluster.clock.charge_s(Bucket.BACKOFF, step_s)
+
+
+def _run_failover_once(seed: int, ship_mode: str) -> FailoverChaosResult:
+    (
+        n_shards, scheme, config, kind, point, victim, occurrence,
+        kill_at_s, max_lag,
+    ) = _draw_failover_case(seed, ship_mode)
+    cluster = load_sharded(
+        DerbyConfig.db_1to3(scale=_SCALE),
+        n_shards,
+        scheme=scheme,
+        replicas=1,
+        ship_mode=ship_mode,
+        max_lag_records=max_lag,
+    )
+    part = cluster.part
+    hot = min(config.hot_set, len(part.patient_shard))
+    hot_homes = []
+    for idx in range(hot):
+        sid, local = part.patient_home(idx)
+        hot_homes.append((sid, cluster.nodes[sid].derby.patient_rids[local]))
+    preload = _durable_ages(cluster, hot_homes)
+
+    workload = ShardedWorkload(cluster, config)
+    injector: ReplicationInjector | None = None
+    if kind == "timed":
+        cluster.schedule_kill(victim, kill_at_s)
+    elif kind == "ship":
+        injector = ReplicationInjector(point, occurrence=occurrence)
+        injector.arm(cluster)
+    else:  # double failure: timed primary kill + replica dies promoting
+        cluster.schedule_kill(victim, kill_at_s)
+        injector = ReplicationInjector(point, occurrence=1)
+        injector.arm(cluster)
+    report = workload.run()
+    _settle_failover(cluster)
+
+    killed = cluster.kills > 0
+    killed_shards = {
+        sid
+        for sid in range(cluster.n_shards)
+        if cluster.route.failovers[sid] or cluster.route.node_for(sid).down
+    }
+    failed_over = any(cluster.route.failovers)
+    failures: list[str] = []
+
+    # -- protocol sanity -------------------------------------------------
+    if kind == "ship" and injector is not None and injector.fired:
+        if not killed:
+            failures.append("ship injector fired but no primary died")
+    if kind == "double" and killed and injector is not None and injector.fired:
+        sid = injector.fired_shard
+        if sid is not None and cluster.route.failovers[sid]:
+            failures.append(
+                f"shard {sid} failed over after its replica was killed "
+                f"at {point}"
+            )
+    for sid in range(cluster.n_shards):
+        if cluster.route.failovers[sid]:
+            node = cluster.route.node_for(sid)
+            if node.down or node.role != "primary":
+                failures.append(f"shard {sid} promoted a non-serving node")
+            if node.epoch != cluster.route.epoch_of(sid):
+                failures.append(f"shard {sid} epoch mismatch after failover")
+            if cluster.shard_unavailable_s(sid) <= 0:
+                failures.append(
+                    f"shard {sid} failed over with zero recorded downtime"
+                )
+
+    # -- nothing leaks ---------------------------------------------------
+    if cluster.lock_table.lock_count:
+        failures.append(f"{cluster.lock_table.lock_count} locks leaked")
+    if cluster.lock_table.waiting_count:
+        failures.append(
+            f"{cluster.lock_table.waiting_count} lock waiters leaked"
+        )
+    for node in cluster.nodes:
+        if not node.down and node.txm.active_count:
+            failures.append(
+                f"shard {node.shard_id}: {node.txm.active_count} "
+                "transactions left open"
+            )
+    if cluster.active_count:
+        failures.append(
+            f"{cluster.active_count} distributed transactions registered"
+        )
+
+    # -- committed-visible / uncommitted-gone ----------------------------
+    # Unacked-but-won commits come from two places: durable decision
+    # records (multi-shard 2PC), and branch commit records that reached
+    # a promoted replica's durable log (one-phase commits whose ack
+    # died with the primary).
+    decided_globals = {
+        record.txn_id
+        for record in cluster.decision_log.durable_records()
+        if record.kind == "commit"
+    }
+    replica_committed: set[int] = set()
+    for sid in range(cluster.n_shards):
+        if not cluster.route.failovers[sid]:
+            continue
+        node = cluster.route.node_for(sid)
+        for record in node.txm.log.durable_records():
+            if record.kind == "commit":
+                global_id = workload.branch_globals.get((sid, record.txn_id))
+                if global_id is not None:
+                    replica_committed.add(global_id)
+    extras = sorted(
+        (decided_globals | replica_committed) - workload.acked_globals
+    )
+
+    expected = dict(preload)
+    for home, value in workload.write_log:
+        expected[home] = value
+    for global_id in extras:
+        for home, value in workload.staged.get(global_id, []):
+            expected[home] = value
+    legal = {home: {preload[home]} for home in preload}
+    for home, value in workload.write_log:
+        legal[home].add(value)
+    for global_id in extras:
+        for home, value in workload.staged.get(global_id, []):
+            legal[home].add(value)
+
+    loss_window = max(cluster.loss_windows.values(), default=0)
+    if ship_mode == "sync" and loss_window:
+        failures.append(
+            f"sync link reported a {loss_window}-record loss window"
+        )
+    lossy_shards = {
+        sid for sid, window in cluster.loss_windows.items() if window
+    }
+    readable = [
+        home for home in hot_homes
+        if not cluster.route.node_for(home[0]).down
+    ]
+    final = {
+        home: int(
+            cluster.route.node_for(home[0]).db.manager.get_attr_at(
+                home[1], "age"
+            )
+        )
+        for home in readable
+    }
+    for home, value in final.items():
+        sid, rid = home
+        exact = ship_mode == "sync" or sid not in lossy_shards
+        if exact and value != expected[home]:
+            failures.append(
+                f"shard {sid} rid {tuple(rid)}: expected {expected[home]}, "
+                f"durable value {value} (acked write lost)"
+            )
+        if value not in legal[home]:
+            failures.append(
+                f"shard {sid} rid {tuple(rid)}: durable value {value} was "
+                "never committed (dirty write survived)"
+            )
+
+    total_unavailable_s = sum(
+        cluster.shard_unavailable_s(sid) for sid in range(cluster.n_shards)
+    )
+    digest = tuple(
+        (
+            s.name, s.committed, s.aborted, s.retries, s.deadlocks,
+            s.timeouts, s.gave_up, s.unavailable,
+        )
+        for s in report.sessions
+    ) + (
+        round(report.elapsed_s, 9),
+        report.context_switches,
+        killed,
+        tuple(cluster.route.epochs),
+        tuple(cluster.route.failovers),
+        tuple(sorted(cluster.loss_windows.items())),
+        tuple(extras),
+        round(total_unavailable_s, 9),
+        tuple(sorted((sid, tuple(rid), v) for (sid, rid), v in final.items())),
+    )
+    return FailoverChaosResult(
+        seed=seed,
+        ship_mode=ship_mode,
+        n_shards=n_shards,
+        scheme=scheme,
+        kind=kind,
+        point=point,
+        victim=victim,
+        killed=killed,
+        failed_over=failed_over,
+        committed=report.committed,
+        aborted=report.aborted,
+        unavailable=report.unavailable,
+        loss_window=loss_window,
+        unavailable_s=total_unavailable_s,
+        failures=failures,
+        digest=digest,
+    )
+
+
+def run_failover_case(
+    seed: int, ship_mode: str = "sync", check_determinism: bool = True
+) -> FailoverChaosResult:
+    """Run one seeded primary-kill case (twice when determinism-checked)."""
+    result = _run_failover_once(seed, ship_mode)
+    if check_determinism:
+        again = _run_failover_once(seed, ship_mode)
+        if again.digest != result.digest:
+            result.failures.append(
+                f"seed {seed}: re-run produced a different digest "
+                "(determinism violated)"
+            )
+    return result
+
+
+def run_failover_chaos(
+    cases: int,
+    base_seed: int = 0,
+    ship_mode: str = "sync",
+    check_determinism: bool = True,
+) -> list[FailoverChaosResult]:
+    """Run ``cases`` seeded primary-kill chaos cases."""
+    return [
+        run_failover_case(
+            base_seed + i, ship_mode=ship_mode,
+            check_determinism=check_determinism,
+        )
+        for i in range(cases)
+    ]
+
+
+def failover_coverage(results: list[FailoverChaosResult]) -> dict[str, int]:
+    """How many cases actually killed a primary, per kill recipe."""
+    coverage = {kind: 0 for kind in FAILOVER_KILL_KINDS}
+    for r in results:
+        if r.killed:
+            coverage[r.kind] += 1
+    return coverage
+
+
+def summarize_failover(results: list[FailoverChaosResult]) -> Table:
+    """Render a per-case failover chaos summary."""
+    table = Table(
+        f"Failover chaos: {len(results)} seeded primary-kill runs",
+        ["Seed", "Mode", "Shards", "Kind", "Point", "Killed", "FailedOver",
+         "Committed", "Unavail", "LossWin", "Down (s)", "OK"],
+    )
+    for r in results:
+        table.add(
+            r.seed, r.ship_mode, r.n_shards, r.kind, r.point,
+            "yes" if r.killed else "no",
+            "yes" if r.failed_over else "no",
+            r.committed, r.unavailable, r.loss_window,
+            round(r.unavailable_s, 4), "ok" if r.ok else "FAIL",
+        )
+    bad = [r for r in results if not r.ok]
+    killed = sum(1 for r in results if r.killed)
+    promoted = sum(1 for r in results if r.failed_over)
+    table.note(
+        f"{len(results) - len(bad)}/{len(results)} cases clean; "
+        f"{killed} primaries killed, {promoted} failovers completed; "
+        "invariants: acked-visible (sync: exactly; async: bounded loss "
+        "window), uncommitted-gone, epoch fencing, zero leaks, "
+        "deterministic re-runs"
+    )
+    return table
 
 
 def summarize_2pc(results: list[TwoPCChaosResult]) -> Table:

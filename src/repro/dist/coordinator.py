@@ -52,7 +52,7 @@ from repro.dist.exchange import (
     ExchangeOperator,
     coordinator_context,
 )
-from repro.errors import DistPlanError
+from repro.errors import DistPlanError, ReproError
 from repro.exec.operators.base import Cursor
 from repro.exec.operators.transforms import finish_aggregate
 from repro.oql.ast_nodes import (
@@ -339,6 +339,7 @@ class Coordinator:
     ) -> list:
         """Run the query across every shard; returns the merged rows,
         shaped exactly like the single-node engine's answer."""
+        self.cluster.tick()
         plan = self.plan(source, strategy)
         self.last_plan = plan
         if plan.strategy == "query" and plan.merge == "aggregate":
@@ -371,9 +372,26 @@ class Coordinator:
 
     def _open_exchange(self, plan, on_batch, batch_size) -> Cursor:
         text = plan.shard_texts[0]
-        streams = [
-            (node, node.engine.execute_iter(text)) for node in self.cluster.nodes
-        ]
+        cluster = self.cluster
+        cluster.tick()
+        streams: list = []
+        try:
+            for node in cluster.nodes:
+                # Fail fast before building cursors on the other shards:
+                # an exchange is all-shards-or-nothing.
+                cluster._check_route(node)
+                streams.append((node, node.engine.execute_iter(text)))
+        except BaseException:
+            # Don't leak the shard cursors already built when a later
+            # shard refuses (down, fenced, or a planning error).
+            for stream_node, cursor in streams:
+                if stream_node.down:
+                    continue
+                try:
+                    cursor.close()
+                except ReproError:
+                    pass
+            raise
         ctx = coordinator_context(self.cluster)
         exchange = ExchangeOperator(
             ctx, self.cluster, streams, on_batch=on_batch

@@ -102,6 +102,36 @@ class GlobalLockTable:
         for node in self.nodes:
             node.locks.detach()
 
+    def attach_node(self, node: "ShardNode") -> None:
+        """Wire one late-arriving node (a promoted replica) into an
+        already-attached table.  Its lock manager never saw the original
+        :meth:`attach` — it was a standby then — so it would run
+        fail-fast and break the scheduler's wait protocol."""
+        if self._wait is None or self._wake is None:
+            return
+        sid = node.shard_id
+        wait, wake = self._wait, self._wake
+        node.locks.attach(
+            lambda txn_id, rid, sid=sid: wait(self.global_of(sid, txn_id), rid),
+            lambda txn_id, sid=sid: wake(self.global_of(sid, txn_id)),
+        )
+
+    def fail_shard_waiters(self, shard_id: int) -> None:
+        """The shard is dying: every branch queued on its locks will
+        never be granted.  Remove the queued requests, then wake the
+        owning global sessions — each resumes *without* a grant, and its
+        ``acquire`` raises the retryable resumed-without-a-grant
+        :class:`~repro.errors.LockConflictError`.  Must run before the
+        crash wipes the shard's lock state, or the sessions would sleep
+        forever on a lock table that no longer exists."""
+        node = self.nodes[shard_id]
+        waiters = sorted(set(node.locks.waiting_txns()))
+        for branch_id in waiters:
+            node.locks.cancel_wait(branch_id)
+        if self._wake is not None:
+            for branch_id in waiters:
+                self._wake(self.global_of(shard_id, branch_id))
+
     def cancel_wait(self, global_id: int) -> None:
         """Remove every queued request of the global transaction, on
         every shard it has a branch on."""

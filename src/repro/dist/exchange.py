@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ShardUnavailableError
 from repro.exec.operators.base import Cursor, Operator, PipelineContext
 from repro.simtime import Bucket, CostParams, SimClock
 from repro.units import PAGE_SIZE, pages_for_bytes
@@ -100,8 +100,21 @@ class ExchangeOperator(Operator):
         self._t0 = self.ctx.db.clock.elapsed_s
         for i, (node, cursor) in enumerate(self.streams):
             before = node.busy_s
-            cursor.ctx.mark_open()
-            cursor.root.open()
+            try:
+                cursor.ctx.mark_open()
+                cursor.root.open()
+            except BaseException:
+                # A later shard refusing to open (failure, cancellation)
+                # must not leak the cursors already opened on the
+                # earlier shards.
+                for prev_node, opened in self.streams[:i]:
+                    if prev_node.down:
+                        continue
+                    try:
+                        opened.close()
+                    except ReproError:
+                        pass
+                raise
             self._consumed[i] += node.busy_s - before
 
     def _next(self, n: int) -> list:
@@ -117,14 +130,21 @@ class ExchangeOperator(Operator):
         return []
 
     def _close(self) -> None:
-        for i, (__, cursor) in enumerate(self.streams):
+        for i, (node, cursor) in enumerate(self.streams):
+            if node.down:
+                # The node's volatile state — handle table included —
+                # died with it; a close attempt could only raise and
+                # mask the typed unavailability error being surfaced.
+                continue
             try:
                 cursor.close()
             except BaseException:
                 # Best-effort close of the remaining shard cursors (a
                 # second library failure is secondary), then surface
                 # the first one.
-                for __, rest in self.streams[i + 1:]:
+                for rest_node, rest in self.streams[i + 1:]:
+                    if rest_node.down:
+                        continue
                     try:
                         rest.close()
                     except ReproError:
@@ -135,6 +155,14 @@ class ExchangeOperator(Operator):
 
     def _pull(self, i: int, n: int) -> list:
         node, cursor = self.streams[i]
+        if node.down:
+            # Another session's kill landed mid-drain; the cursor's
+            # remote state is gone.  Closing this exchange (the drain's
+            # context manager does) skips the dead shard.
+            raise ShardUnavailableError(
+                f"shard {node.shard_id} died while its exchange stream "
+                "was being drained"
+            )
         before = node.busy_s
         batch = cursor.root.next_batch(n)
         self._consumed[i] += node.busy_s - before

@@ -69,6 +69,18 @@ class ShardNode:
         #: Simulated seconds the coordinator spent waiting on this shard
         #: (the serialized remainder of this shard's parallel work).
         self.remote_wait_s = 0.0
+        # -- replication state (see repro.dist.replication) ------------
+        #: ``"primary"`` serves traffic; ``"replica"`` only applies
+        #: shipped redo until promoted.
+        self.role = "primary"
+        #: Shard epoch this node was installed as primary under.  The
+        #: cluster bumps the authoritative epoch in its decision log at
+        #: every failover; a deposed primary keeps its old value, which
+        #: is what the fence compares against.
+        self.epoch = 0
+        #: The node's process is dead (killed) or partitioned away —
+        #: either way it cannot serve until replaced.
+        self.down = False
 
     @property
     def locks(self) -> LockManager:

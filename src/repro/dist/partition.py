@@ -37,7 +37,7 @@ from repro.derby.generator import (
     LogicalPatient,
     LogicalProvider,
 )
-from repro.errors import PartitionError
+from repro.errors import PartitionError, ReplicationError
 
 #: The supported partitioning schemes.
 PARTITION_SCHEMES = ("hash", "range")
@@ -104,6 +104,48 @@ class PartitionMap:
         for shard in self.patient_shard:
             sizes[shard][1] += 1
         return [(p, q) for p, q in sizes]
+
+
+class RouteTable:
+    """Which node serves each shard *right now*, and at which epoch.
+
+    The frozen :class:`PartitionMap` answers "which shard owns this
+    object" — that never changes.  This mutable table answers "which
+    node serves that shard", which failover rewrites: promoting a
+    replica installs it in the shard's slot under the next epoch.
+
+    The table wraps the cluster's node list *by reference* (no copy):
+    everything holding that list — the global lock table, the
+    coordinator, open exchanges — sees a rewrite immediately, which is
+    exactly the semantics of updating the routing metadata all clients
+    consult.  A rewrite must present ``current epoch + 1``; anything
+    else means two promotions raced or a stale controller retried, and
+    is refused."""
+
+    def __init__(self, nodes: list):
+        self._nodes = nodes
+        self.epochs = [0] * len(nodes)
+        #: Completed failovers per shard (diagnostics / CSV export).
+        self.failovers = [0] * len(nodes)
+
+    def node_for(self, shard_id: int):
+        return self._nodes[shard_id]
+
+    def epoch_of(self, shard_id: int) -> int:
+        return self.epochs[shard_id]
+
+    def rewrite(self, shard_id: int, node, epoch: int) -> None:
+        """Install ``node`` as the shard's serving primary under
+        ``epoch`` (must be the successor of the current epoch)."""
+        if epoch != self.epochs[shard_id] + 1:
+            raise ReplicationError(
+                f"route rewrite for shard {shard_id} under epoch {epoch}; "
+                f"current epoch is {self.epochs[shard_id]} (stale or "
+                "duplicated promotion)"
+            )
+        self._nodes[shard_id] = node
+        self.epochs[shard_id] = epoch
+        self.failovers[shard_id] += 1
 
 
 def split_logical(

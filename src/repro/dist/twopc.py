@@ -35,7 +35,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import RecoveryError, SimulatedCrashError, TwoPCError
+from repro.errors import (
+    RecoveryError,
+    ShardUnavailableError,
+    SimulatedCrashError,
+    TwoPCError,
+)
 from repro.txn.log import (
     ABORT_RECORD_BYTES,
     BEGIN_RECORD_BYTES,
@@ -109,7 +114,7 @@ class TwoPCInjector:
     def fire(self, detail: str) -> None:
         self.fired = True
         if self._cluster is not None:
-            for node in self._cluster.nodes:
+            for node in self._cluster.all_nodes():
                 node.txm.log.injector = self
                 node.db.disk.injector = self
             self._cluster.decision_log.injector = self
@@ -156,6 +161,13 @@ class DistTransaction:
         self.state = "active"
         #: shard id -> branch transaction, opened on first touch.
         self.branches: "dict[int, Transaction]" = {}
+        #: shard id -> the node the branch was opened on.  Pinned at
+        #: branch-open: a failover mid-transaction must *not* silently
+        #: reroute later operations to the new primary (the branch's
+        #: locks and log records live on the old one) — instead the
+        #: pinned node's death or stale epoch surfaces as a typed error
+        #: and the whole distributed transaction retries.
+        self.branch_nodes: "dict[int, object]" = {}
         #: Whether the coordinator's decision record is known durable.
         self.decision_durable = False
 
@@ -167,12 +179,13 @@ class DistTransaction:
         self._require_active()
         txn = self.branches.get(shard_id)
         if txn is None:
-            node = self.cluster.nodes[shard_id]
+            node = self.cluster.route.node_for(shard_id)
             txn = self.cluster.call(
                 node, lambda: node.txm.begin(logged=True),
                 nbytes=BEGIN_RECORD_BYTES,
             )
             self.branches[shard_id] = txn
+            self.branch_nodes[shard_id] = node
             self.cluster.lock_table.register(
                 self.global_id, shard_id, txn.txn_id
             )
@@ -182,7 +195,7 @@ class DistTransaction:
         """Write one scalar attribute on a shard (lock + physical log at
         the shard, RPC + remote wait at the coordinator)."""
         txn = self.branch(shard_id)
-        node = self.cluster.nodes[shard_id]
+        node = self.branch_nodes[shard_id]
         self.cluster.call(
             node, lambda: txn.update_scalar(rid, attr_name, value), nbytes=8
         )
@@ -205,19 +218,27 @@ class DistTransaction:
         if len(participants) == 1:
             # One-phase: the sole participant's commit record decides.
             sid = participants[0]
-            node = cluster.nodes[sid]
-            cluster.call(
-                node,
-                self.branches[sid].commit,
-                nbytes=COMMIT_RECORD_BYTES,
-            )
+            node = self.branch_nodes[sid]
+            try:
+                cluster.call(
+                    node,
+                    self.branches[sid].commit,
+                    nbytes=COMMIT_RECORD_BYTES,
+                )
+            except ShardUnavailableError:
+                # No decision record exists (one-phase skips the
+                # coordinator log), so the outcome rides on what the
+                # dying shard made durable; the caller only knows the
+                # commit was not acknowledged.
+                self.abort()
+                raise
             self._finish("committed")
             return
 
         # Phase 1: every participant force-logs its vote, in parallel.
         cluster.fanout(
             [
-                (cluster.nodes[sid], self._make_prepare(sid))
+                (self.branch_nodes[sid], self._make_prepare(sid))
                 for sid in participants
             ],
             nbytes=PREPARE_RECORD_BYTES,
@@ -243,12 +264,19 @@ class DistTransaction:
         cluster.reached("2pc-after-decision", f"gtxn {self.global_id}")
 
         # Phase 2: ordinary per-shard commits release the branches.
+        # The durable decision record *is* the commit point: a
+        # participant dying here must not drag the others down — its
+        # branch resolves to commit from the decision log when its
+        # replica is promoted (or at cluster recovery).
         for i, sid in enumerate(participants):
-            cluster.call(
-                cluster.nodes[sid],
-                self.branches[sid].commit,
-                nbytes=COMMIT_RECORD_BYTES,
-            )
+            try:
+                cluster.call(
+                    self.branch_nodes[sid],
+                    self.branches[sid].commit,
+                    nbytes=COMMIT_RECORD_BYTES,
+                )
+            except ShardUnavailableError:
+                pass
             if i == 0:
                 cluster.reached("2pc-mid-commit", f"gtxn {self.global_id}")
         self._finish("committed")
@@ -261,16 +289,21 @@ class DistTransaction:
         try:
             for sid in self.participants:
                 txn = self.branches[sid]
-                if txn.state != "active":
+                node = self.branch_nodes[sid]
+                if txn.state != "active" or node.down:
+                    # A crashed or unreachable branch needs no abort
+                    # message: presumed abort (or, if its commit record
+                    # already shipped, the decision log) settles it.
                     continue
-                cluster.call(
-                    cluster.nodes[sid], txn.abort, nbytes=ABORT_RECORD_BYTES
-                )
+                try:
+                    cluster.call(node, txn.abort, nbytes=ABORT_RECORD_BYTES)
+                except ShardUnavailableError:
+                    continue
         finally:
             self._finish("aborted")
 
     def _make_prepare(self, shard_id: int):
-        node = self.cluster.nodes[shard_id]
+        node = self.branch_nodes[shard_id]
         txn = self.branches[shard_id]
 
         def _prepare() -> None:

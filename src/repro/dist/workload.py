@@ -40,6 +40,7 @@ from repro.errors import (
     LockConflictError,
     LockTimeoutError,
     PermanentIOError,
+    ShardUnavailableError,
     SimulatedCrashError,
 )
 from repro.service.governor import RetryPolicy
@@ -68,6 +69,11 @@ class ShardedMixConfig:
     #: (The lock-wait bound itself is a *cluster* property — see the
     #: ``lock_timeout_s`` argument of ``load_sharded``.)
     max_retries: int = 2
+    #: Retries after :class:`~repro.errors.ShardUnavailableError` — a
+    #: separate, larger allowance: unlike a deadlock, unavailability
+    #: heals on its own once failover promotes the standby, so patience
+    #: (with the same exponential backoff) is the right policy.
+    unavailable_retries: int = 12
     #: Backoff before the first retry (simulated seconds; doubles per
     #: retry, jittered from the session's seeded stream).
     retry_backoff_s: float = 0.02
@@ -115,6 +121,9 @@ class ShardedSessionReport:
     retries: int = 0
     gave_up: int = 0
     io_failures: int = 0
+    #: Operations that hit a shard with no serving node (each is also
+    #: either retried or counted in ``gave_up``).
+    unavailable: int = 0
     rows: int = 0
     lock_wait_s: float = 0.0
 
@@ -159,6 +168,10 @@ class ShardedMixReport:
     @property
     def gave_up(self) -> int:
         return sum(s.gave_up for s in self.sessions)
+
+    @property
+    def unavailable(self) -> int:
+        return sum(s.unavailable for s in self.sessions)
 
     @property
     def throughput_ops_s(self) -> float:
@@ -208,7 +221,7 @@ class ShardedWorkload:
         #: so each shard's fault schedule is a function of (seed, shard)
         #: alone, independent of the global read interleaving.
         self.faults = faults
-        self._node_faults: "list[TransientFaultInjector]" = []
+        self._armed: "list[tuple[object, TransientFaultInjector]]" = []
         self.coordinator = Coordinator(
             cluster,
             **({} if config.batch_size is None
@@ -225,6 +238,16 @@ class ShardedWorkload:
         self.staged: "dict[int, list[tuple[tuple[int, Rid], int]]]" = {}
         #: Global ids whose commit ack reached the client.
         self.acked_globals: set[int] = set()
+        #: ``(shard, branch txn id) -> global id`` for every branch a
+        #: distributed transaction staged writes through.  After a
+        #: primary kill, a branch commit record found durable on the
+        #: *promoted replica* maps back to the global transaction whose
+        #: writes the failover oracle must then expect — even if no
+        #: client was ever acked (the "decided but unacked" case).
+        self.branch_globals: "dict[tuple[int, int], int]" = {}
+        #: Coordinator timestamps of acked operations (commits and
+        #: scans), for windowed throughput-recovery measurements.
+        self.op_times: list[float] = []
 
     # -- the run --------------------------------------------------------
 
@@ -238,13 +261,21 @@ class ShardedWorkload:
         self.write_log = []
         self.staged = {}
         self.acked_globals = set()
+        self.branch_globals = {}
+        self.op_times = []
         scheduler = CooperativeScheduler(cluster.clock, cluster.lock_table)
         self.scheduler = scheduler
         if self.faults is not None:
-            self._node_faults = [
-                self.faults.for_node(node.shard_id) for node in cluster.nodes
+            # Primaries draw replica=0 streams, standbys replica=1 —
+            # independent failures, the point of replication.
+            self._armed = [
+                (node, self.faults.for_node(node.shard_id))
+                for node in cluster.nodes
+            ] + [
+                (node, self.faults.for_node(node.shard_id, replica=1))
+                for node in cluster.standbys.values()
             ]
-            for node, child in zip(cluster.nodes, self._node_faults):
+            for node, child in self._armed:
                 child.arm(node.db, node.locks)
         reports: list[ShardedSessionReport] = []
         start_s = cluster.elapsed_s
@@ -280,9 +311,9 @@ class ShardedWorkload:
             # The cluster outlives this workload: leave no scheduler
             # wiring or transient faults behind to corrupt later runs.
             cluster.lock_table.detach()
-            for node, child in zip(cluster.nodes, self._node_faults):
+            for node, child in self._armed:
                 child.disarm(node.db, node.locks)
-            self._node_faults = []
+            self._armed = []
         return ShardedMixReport(
             config=config,
             sessions=reports,
@@ -321,8 +352,15 @@ class ShardedWorkload:
         def body() -> None:
             for __ in range(config.ops_per_client):
                 attempt = 0
+                unavailable_attempt = 0
                 while True:
                     try:
+                        # Drive failure handling forward on every
+                        # attempt: due kills land, async links drain,
+                        # leases expire and dead shards fail over.  An
+                        # injected kill firing mid-ship surfaces here
+                        # as ShardUnavailableError like any other op.
+                        cluster.tick()
                         op(report, rng)
                     except LockConflictError as exc:
                         # Transient: the victim of a deadlock or a lock
@@ -338,6 +376,19 @@ class ShardedWorkload:
                         report.retries += 1
                         backoff(policy.backoff_s(attempt, rng))
                         attempt += 1
+                    except ShardUnavailableError:
+                        # The shard is between primaries.  Separate,
+                        # larger retry allowance: backoff spans the
+                        # detection + promotion window, after which the
+                        # op succeeds against the new primary.
+                        report.unavailable += 1
+                        report.aborted += 1
+                        if unavailable_attempt >= config.unavailable_retries:
+                            report.gave_up += 1
+                            break
+                        report.retries += 1
+                        backoff(policy.backoff_s(unavailable_attempt, rng))
+                        unavailable_attempt += 1
                     except PermanentIOError:
                         # A read fault that out-lasted the disk's retry
                         # budget: the op is lost, not retried.
@@ -363,6 +414,7 @@ class ShardedWorkload:
         )
         report.rows += len(rows)
         report.committed += 1
+        self.op_times.append(self.cluster.elapsed_s)
 
     def _updater_op(self, report: ShardedSessionReport, rng: Random) -> None:
         cluster = self.cluster
@@ -391,14 +443,18 @@ class ShardedWorkload:
         try:
             writes: "list[tuple[tuple[int, Rid], int]]" = []
             for i, (shard_id, rid) in enumerate(targets):
-                node = cluster.nodes[shard_id]
                 txn = dtx.branch(shard_id)
+                # Pin every later touch to the node the branch opened
+                # on: a mid-transaction failover must surface as a typed
+                # error, never silently reroute to the new primary.
+                node = dtx.branch_nodes[shard_id]
+                self.branch_globals[(shard_id, txn.txn_id)] = dtx.global_id
                 cluster.call(node, lambda t=txn, r=rid: t.write_lock(r))
                 if i == 0:
                     # The window in which opposite-order pairs deadlock.
                     self.scheduler.yield_point()
             for shard_id, rid in targets:
-                node = cluster.nodes[shard_id]
+                node = dtx.branch_nodes[shard_id]
                 age = cluster.call(
                     node,
                     lambda n=node, r=rid: n.db.manager.get_attr_at(r, "age"),
@@ -422,3 +478,4 @@ class ShardedWorkload:
         self.acked_globals.add(dtx.global_id)
         self.write_log.extend(writes)
         report.committed += 1
+        self.op_times.append(cluster.elapsed_s)

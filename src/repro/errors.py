@@ -204,3 +204,26 @@ class DistPlanError(DistError):
 class TwoPCError(DistError):
     """Two-phase-commit protocol violation (commit on a non-active
     distributed transaction, unknown participant, bad crash point)."""
+
+
+class ReplicationError(DistError):
+    """Base class for per-shard replication failures (bad ship mode,
+    broken ship sequence, failover protocol violation)."""
+
+
+class StaleEpochError(ReplicationError):
+    """A message carried a shard epoch older than the current one — the
+    fence that rejects zombie-primary traffic.  A node deposed by
+    failover keeps its old epoch; the coordinator bumped the shard's
+    epoch in its decision log before promoting the replica, so any
+    request still routed through the deposed node is refused rather
+    than allowed to split-brain the shard."""
+
+
+class ShardUnavailableError(ReplicationError):
+    """A shard currently has no serving node: its primary is down and
+    no replica has been (or can be) promoted.  Queries and transaction
+    branches touching the shard fail fast with this error; the
+    workload mixer's :class:`~repro.service.RetryPolicy` backs off and
+    retries, so sessions ride through the failover window while other
+    shards keep serving."""

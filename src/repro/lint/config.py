@@ -178,6 +178,10 @@ DEFAULT_PROTO_PREPARE_CALLS = ("_make_prepare", "prepare")
 DEFAULT_PROTO_DECISION_CHAINS = ("decision_log",)
 #: The only calls allowed to take a ``resolve_in_doubt=`` argument.
 DEFAULT_PROTO_RESTART_CALLS = ("restart",)
+#: Calls that apply a failover promotion (rewrite the shard route to a
+#: new primary).  Each must be fenced: an ``"epoch"`` record appended
+#: *and flushed* through a decision-log chain earlier in the function.
+DEFAULT_PROTO_PROMOTE_CALLS = ("rewrite",)
 
 #: Calls returning scoped handles that must not escape their ``with``
 #: block (the ESCAPE rule).
@@ -236,6 +240,7 @@ class LintConfig:
     proto_prepare_calls: tuple[str, ...] = DEFAULT_PROTO_PREPARE_CALLS
     proto_decision_chains: tuple[str, ...] = DEFAULT_PROTO_DECISION_CHAINS
     proto_restart_calls: tuple[str, ...] = DEFAULT_PROTO_RESTART_CALLS
+    proto_promote_calls: tuple[str, ...] = DEFAULT_PROTO_PROMOTE_CALLS
     escape_calls: tuple[str, ...] = DEFAULT_ESCAPE_CALLS
     escape_sinks: tuple[str, ...] = DEFAULT_ESCAPE_SINKS
     #: Directory paths are made relative to; set by load_config.
@@ -275,6 +280,7 @@ def config_from_mapping(data: dict, root: str = ".") -> LintConfig:
         "proto_prepare_calls": _tuple,
         "proto_decision_chains": _tuple,
         "proto_restart_calls": _tuple,
+        "proto_promote_calls": _tuple,
         "escape_calls": _tuple,
         "escape_sinks": _tuple,
         "baseline": str,

@@ -37,6 +37,14 @@ commit point of presumed-abort 2PC.  And ``resolve_in_doubt=`` may
 only be passed to ``restart()``: in-doubt transactions are resolved by
 recovery, never ad hoc.
 
+**Failover fencing.**  A promotion application
+(``proto_promote_calls``, i.e. the route rewrite installing a new
+primary) must be fenced: earlier in the same function an ``"epoch"``
+record is appended through a decision-log chain *and* that log is
+flushed before the rewrite.  Once the epoch record is durable the old
+primary is deposed even if it never hears so — promoting first would
+let an amnesiac coordinator resurrect a zombie under the old epoch.
+
 Suppressions carry ``# simlint: ok[PROTO] <why>``.
 """
 
@@ -644,10 +652,72 @@ def _check_twopc(
         return
 
 
+# -- failover fencing --------------------------------------------------------
+
+
+def _check_failover(
+    info: FunctionInfo,
+    qualname: str,
+    unit: ast.AST,
+    config: LintConfig,
+    findings: list[Finding],
+) -> None:
+    symbol = f"{info.module.name}:{qualname}"
+    promote_names = set(config.proto_promote_calls)
+    decision_chains = set(config.proto_decision_chains)
+
+    promote_calls: list[tuple[int, int, str]] = []
+    epoch_lines: list[int] = []
+    flush_lines: list[int] = []
+    for node in _own_nodes(unit):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        recv = tuple(_dotted(node.func))[:-1]
+        if name in promote_names:
+            promote_calls.append((node.lineno, node.col_offset, name))
+        on_decision_log = any(part in decision_chains for part in recv)
+        if name == "append" and on_decision_log and (
+            "epoch" in _string_args(node)
+        ):
+            epoch_lines.append(node.lineno)
+        if name == "flush" and on_decision_log:
+            flush_lines.append(node.lineno)
+
+    for line, col, name in sorted(promote_calls):
+        fences = [e for e in epoch_lines if e < line]
+        fenced = any(
+            e <= f < line for e in fences for f in flush_lines
+        )
+        if fenced:
+            continue
+        missing = (
+            "no durable epoch fence" if not fences
+            else f"the epoch record on line {fences[-1]} is never flushed"
+        )
+        findings.append(
+            Finding(
+                rule=NAME,
+                path=info.module.path,
+                line=line,
+                col=col,
+                message=(
+                    f"{name}() applies a promotion with {missing} "
+                    "before it; append+flush the \"epoch\" record to "
+                    "the decision log first — once durable it deposes "
+                    "the old primary even across a coordinator restart "
+                    "— or justify with `# simlint: ok[PROTO] <why>`"
+                ),
+                symbol=symbol,
+            )
+        )
+
+
 def check(project: Project, config: LintConfig) -> list[Finding]:
     findings: list[Finding] = []
     for info, qualname, unit in _units(project):
         _check_txn(info, qualname, unit, config, findings)
         _check_wal(info, qualname, unit, config, findings)
         _check_twopc(info, qualname, unit, config, findings)
+        _check_failover(info, qualname, unit, config, findings)
     return findings

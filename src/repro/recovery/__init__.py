@@ -19,7 +19,12 @@ storms; the chaos checker over workload mixes lives in
 See ``docs/recovery.md`` for the log format and the recovery protocol.
 """
 
-from repro.recovery.aries import RecoveryReport, restart, take_checkpoint
+from repro.recovery.aries import (
+    RecoveryReport,
+    redo_apply,
+    restart,
+    take_checkpoint,
+)
 from repro.recovery.crash import CRASH_POINTS, CrashInjector, crash_database
 from repro.recovery.fuzz import (
     FuzzResult,
@@ -36,6 +41,7 @@ __all__ = [
     "TransientFaultInjector",
     "RecoveryReport",
     "crash_database",
+    "redo_apply",
     "restart",
     "run_case",
     "run_fuzz",

@@ -93,6 +93,47 @@ def take_checkpoint(db, txm, flush_pages: bool = True) -> LogRecord:
     return record
 
 
+def _recovery_page(disk, fetched: set, key: tuple[int, int]):
+    """Fetch a page for redo, allocating anything missing (a crash may
+    predate the durable allocation) and paying the read cost only on
+    first touch per pass."""
+    file_id, page_no = key
+    while disk.num_pages(file_id) <= page_no:
+        disk.allocate_page(file_id)
+    if key in fetched:
+        return disk.peek_page(file_id, page_no)
+    fetched.add(key)
+    return disk.read_page(file_id, page_no)
+
+
+def redo_apply(db, records, fetched: set | None = None) -> int:
+    """Repeat history: apply physical log records to the database's
+    pages, oldest first, skipping anything a page already reflects
+    (``page_lsn >= lsn``) — the redo half of :func:`restart`, packaged
+    as its own entry point so a replication replica can apply shipped
+    records *continuously* as they arrive instead of all at once after
+    a crash.  Charges per-record apply CPU and first-touch page reads;
+    returns the number of records applied.  Idempotent: re-applying a
+    shipped batch after a partial apply is a no-op."""
+    clock = db.clock
+    params = db.params
+    disk = db.disk
+    if fetched is None:
+        fetched = set()
+    applied = 0
+    for record in records:
+        if record.kind not in PHYSICAL_KINDS:
+            continue
+        clock.charge_us(Bucket.LOG, params.log_apply_us)
+        page = _recovery_page(disk, fetched, record.page_key)
+        if page.page_lsn < record.lsn:
+            page.restore(record.after)
+            page.page_lsn = record.lsn
+            page.dirty = True
+            applied += 1
+    return applied
+
+
 def restart(db, txm, resolve_in_doubt=None) -> RecoveryReport:
     """Run analysis/redo/undo over the durable log and disk, leaving the
     database consistent: every durably-committed change applied, every
@@ -168,13 +209,7 @@ def restart(db, txm, resolve_in_doubt=None) -> RecoveryReport:
     fetched: set[tuple[int, int]] = set()
 
     def recovery_page(key: tuple[int, int]):
-        file_id, page_no = key
-        while disk.num_pages(file_id) <= page_no:
-            disk.allocate_page(file_id)
-        if key in fetched:
-            return disk.peek_page(file_id, page_no)
-        fetched.add(key)
-        return disk.read_page(file_id, page_no)
+        return _recovery_page(disk, fetched, key)
 
     redone_pages: set[tuple[int, int]] = set()
     if dpt:

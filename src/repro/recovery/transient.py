@@ -75,18 +75,25 @@ class TransientFaultInjector:
         #: for the reads this injector faulted).
         self.faults_injected = 0
 
-    def for_node(self, node_id: int) -> "TransientFaultInjector":
+    def for_node(self, node_id: int, replica: int = 0) -> "TransientFaultInjector":
         """A child injector for one shard of a cluster, with the same
         fault configuration but an independent seed derived from this
-        injector's seed and the node id.
+        injector's seed, the node id and the replica index (0 = the
+        primary, 1+ = its replicas).
 
         Sharing one injector across shards would make fault placement
         depend on the global interleaving of reads (whichever shard
         draws next consumes the stream), so adding a shard would reshuffle
         every other shard's faults.  Per-node derived streams keep each
-        shard's fault schedule a function of (seed, node id) alone."""
+        node's fault schedule a function of (seed, node id, replica)
+        alone.  The replica term uses a stride (1009) that is coprime
+        with the node stride (31), so a replica's seed never collides
+        with any primary's: before replication landed, a primary and
+        its replica would have derived the *same* child seed and drawn
+        perfectly correlated fault streams — the opposite of
+        independent failures."""
         return TransientFaultInjector(
-            seed=self.seed * 1_000_003 + 31 * node_id + 7,
+            seed=self.seed * 1_000_003 + 31 * node_id + 1_009 * replica + 7,
             read_fault_rate=self.read_fault_rate,
             read_fault_persistence=self.read_fault_persistence,
             storm_mean_gap_s=self.storm_mean_gap_s,

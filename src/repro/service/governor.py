@@ -44,8 +44,10 @@ from typing import TYPE_CHECKING
 
 from repro.errors import (
     BudgetExceededError,
+    LockConflictError,
     QueryCancelledError,
     ServiceError,
+    ShardUnavailableError,
     StatementTimeoutError,
 )
 
@@ -115,6 +117,19 @@ class RetryPolicy:
         if self.jitter <= 0.0:
             return raw
         return raw * (1.0 - self.jitter * rng.random())
+
+    @staticmethod
+    def retryable(exc: BaseException) -> bool:
+        """Is this failure transient — worth backing off and retrying?
+
+        Lock-conflict aborts (deadlock victims, timeouts, SI
+        first-committer-wins) always were; a
+        :class:`~repro.errors.ShardUnavailableError` joins them with
+        replication: a shard whose primary just died fails fast while
+        the coordinator detects the death and promotes the replica, so
+        the right client reaction is exactly a backed-off retry.
+        Governor interventions stay non-retryable on purpose."""
+        return isinstance(exc, (LockConflictError, ShardUnavailableError))
 
 
 @dataclass

@@ -12,6 +12,7 @@ from repro.stats.export import (
     mix_to_csv,
     optimizer_to_csv,
     recovery_to_csv,
+    replication_to_csv,
     sharding_to_csv,
     to_csv,
     to_gnuplot,
@@ -28,5 +29,6 @@ __all__ = [
     "mix_to_csv",
     "optimizer_to_csv",
     "recovery_to_csv",
+    "replication_to_csv",
     "sharding_to_csv",
 ]

@@ -231,6 +231,42 @@ def sharding_to_csv(rows) -> str:
     return out.getvalue()
 
 
+_REPLICATION_COLUMNS = (
+    "label",
+    "n_shards",
+    "ship_mode",
+    "shard",
+    "ship_msgs",
+    "shipped_records",
+    "shipped_bytes",
+    "ship_lag_records",
+    "ack_wait_s",
+    "failovers",
+    "epoch",
+    "unavailable_s",
+    "loss_window_records",
+)
+
+
+def replication_to_csv(rows) -> str:
+    """Render per-shard replication records (``bench_replication``'s
+    rows: one line per shard per configuration — ship traffic and lag,
+    ack latency, failover counts, downtime, acked-loss windows) as CSV.
+    Duck-typed like :func:`sharding_to_csv`; any object carrying the
+    column attributes works, missing ones render empty."""
+    out = io.StringIO()
+    out.write(",".join(_REPLICATION_COLUMNS) + "\n")
+    for row in rows:
+        values = [getattr(row, col, "") for col in _REPLICATION_COLUMNS]
+        out.write(
+            ",".join(
+                f"{v:.4f}" if isinstance(v, float) else str(v) for v in values
+            )
+            + "\n"
+        )
+    return out.getvalue()
+
+
 def to_gnuplot(
     rows: Sequence[StatRow],
     x: str = "selectivity",

@@ -132,6 +132,13 @@ class WriteAheadLog:
         self.dirty_pages: dict[tuple[int, int], int] = {}
         #: Optional :class:`~repro.recovery.CrashInjector` hook.
         self.injector = None
+        #: Optional replication hook, fired at the end of every flush
+        #: that advanced the durable boundary: ``listener(old_durable,
+        #: new_durable)``.  A synchronous shipper forwards the newly
+        #: durable records to the replica *inside* the flush, so the
+        #: caller's commit cannot return (and no client can be acked)
+        #: before the replica holds the records.
+        self.ship_listener = None
 
     # -- appending ------------------------------------------------------
 
@@ -202,6 +209,7 @@ class WriteAheadLog:
         """
         pages_needed = pages_for_bytes(self._unflushed_bytes, PAGE_SIZE)
         budget = pages_needed
+        before_durable = self.durable_lsn
         crash_detail = None
         if self.injector is not None:
             injector_budget = self.injector.on_flush(pages_needed)
@@ -228,11 +236,45 @@ class WriteAheadLog:
                 self.durable_lsn = record.lsn
         if crash_detail is not None:
             self.injector.fire(crash_detail)
+        if self.ship_listener is not None and self.durable_lsn > before_durable:
+            self.ship_listener(before_durable, self.durable_lsn)
         return pages
 
     @property
     def pending_bytes(self) -> int:
         return self._unflushed_bytes
+
+    # -- replication shipping -------------------------------------------
+
+    def ship_records(self, after_lsn: int) -> list[LogRecord]:
+        """The ship cursor: every *durable* record past ``after_lsn``,
+        in LSN order — what a replication shipper still owes a replica
+        whose acknowledged prefix ends at ``after_lsn``.  Only durable
+        records ship (a record that could still be lost by a primary
+        crash must not outlive the primary on its replica)."""
+        return [
+            r for r in self.records if after_lsn < r.lsn <= self.durable_lsn
+        ]
+
+    def append_shipped(self, record: LogRecord) -> LogRecord:
+        """Append a record shipped from a replication primary,
+        *preserving its LSN*: the replica's log must stay an identical
+        prefix of the primary's so ``prev_lsn`` chains, checkpoints and
+        restart analysis mean the same thing on both.  Ships arrive in
+        order; a gap means the shipper lost its place."""
+        if record.lsn != self.next_lsn:
+            raise ValueError(
+                f"ship sequence gap: expected lsn {self.next_lsn}, "
+                f"got {record.lsn}"
+            )
+        self.next_lsn = record.lsn + 1
+        self.records.append(record)
+        self._unflushed.append(record)
+        self._unflushed_bytes += record.nbytes
+        self.clock.charge_us(Bucket.LOG, self.params.log_append_us)
+        if self.injector is not None:
+            self.injector.on_append(record)
+        return record
 
     # -- crash semantics ------------------------------------------------
 
@@ -247,3 +289,4 @@ class WriteAheadLog:
         self._unflushed_bytes = 0
         self.dirty_pages.clear()
         self.injector = None
+        self.ship_listener = None

@@ -1,0 +1,16 @@
+"""PROTO fixtures: unfenced failover promotions."""
+
+
+def promote_without_fence(cluster, shard_id, replica):
+    cluster.route.rewrite(shard_id, replica, 1)      # line 5: no fence -> PROTO
+
+
+def promote_with_volatile_fence(cluster, shard_id, replica, epoch):
+    cluster.decision_log.append(0, "epoch", 24)
+    cluster.route.rewrite(shard_id, replica, epoch)  # line 10: never flushed -> PROTO
+
+
+def fence_after_the_fact(cluster, shard_id, replica, epoch):
+    cluster.route.rewrite(shard_id, replica, epoch)  # line 14: fence too late -> PROTO
+    cluster.decision_log.append(0, "epoch", 24)
+    cluster.decision_log.flush()

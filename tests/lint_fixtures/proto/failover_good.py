@@ -1,0 +1,12 @@
+"""PROTO fixtures: fenced failover, done right."""
+
+
+def promote_with_durable_fence(cluster, shard_id, replica, epoch):
+    cluster.decision_log.append(0, "epoch", 24)
+    cluster.decision_log.flush()  # the fence is durable before anything moves
+    cluster.route.rewrite(shard_id, replica, epoch)
+
+
+def rewrite_unrelated_to_promotion(text):
+    # a same-named call with no promotion semantics, justified away
+    return text.rewrite("a", "b")  # simlint: ok[PROTO] string rewriting, not routing

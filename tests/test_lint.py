@@ -143,6 +143,19 @@ def test_proto_twopc_good_is_clean():
     assert lint_fixture("proto/twopc_good.py", ("PROTO",)) == []
 
 
+def test_proto_flags_unfenced_promotion():
+    findings = lint_fixture("proto/failover_bad.py", ("PROTO",))
+    assert {f.rule for f in findings} == {"PROTO"}
+    assert [f.line for f in findings] == [5, 10, 14]
+    assert "no durable epoch fence" in findings[0].message
+    assert "never flushed" in findings[1].message
+    assert "no durable epoch fence" in findings[2].message
+
+
+def test_proto_failover_good_is_clean():
+    assert lint_fixture("proto/failover_good.py", ("PROTO",)) == []
+
+
 def test_escape_flags_leaking_handles():
     findings = lint_fixture("escape/escape_bad.py", ("ESCAPE",))
     assert {f.rule for f in findings} == {"ESCAPE"}
